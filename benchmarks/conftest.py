@@ -1,0 +1,33 @@
+"""Shared helpers for the per-table/figure benchmark modules.
+
+Every benchmark regenerates one table or figure of the paper via the
+harness in :mod:`repro.bench`, prints the rows (visible with ``-s``) and
+writes them under ``benchmarks/results/`` so EXPERIMENTS.md can quote
+them.  ``pytest-benchmark`` times the row generation once
+(``pedantic(rounds=1)``) — these are experiment drivers, not
+micro-benchmarks, so repeating them buys nothing.
+"""
+
+from __future__ import annotations
+
+import pathlib
+
+from repro.bench import format_table
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def emit(name: str, title: str, rows: list[dict[str, object]]) -> None:
+    """Print a result table and persist it under benchmarks/results/."""
+    text = format_table(rows, title)
+    print()
+    print(text)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    (RESULTS_DIR / f"{name}.txt").write_text(text + "\n", encoding="utf-8")
+
+
+def run_and_emit(benchmark, name: str, title: str, fn) -> list[dict]:
+    """Time one experiment-driver call and emit its rows."""
+    rows = benchmark.pedantic(fn, rounds=1, iterations=1)
+    emit(name, title, rows)
+    return rows

@@ -1,0 +1,29 @@
+"""Figure 10 — ablation: Tiled Partitioning, Resident Tile Stealing,
+Sampling-based Reordering applied incrementally.
+
+Paper reference: TP lifts every dataset (handling skew is the first-order
+concern); RTS adds the most on brain (latency hiding via flattened tiles)
+and twitter (inter-SM balance under extreme skew); SR pays off mainly on
+the social graphs where node order has locality to recover.
+"""
+
+from repro.bench import fig10_rows
+
+from conftest import run_and_emit
+
+SCALE = 1.0
+
+
+def test_fig10(benchmark):
+    rows = run_and_emit(
+        benchmark, "fig10",
+        "Figure 10 — ablation GTEPS (features applied incrementally)",
+        lambda: fig10_rows(SCALE, num_sources=2, reorder_rounds=10),
+    )
+    assert len(rows) == 15
+    for row in rows:
+        assert row["+tp"] > row["base"]
+        assert row["+tp+rts"] > row["+tp"]
+    social = [r for r in rows if r["dataset"] in ("twitter", "friendster")]
+    # SR recovers locality on social graphs
+    assert sum(1 for r in social if r["+tp+rts+sr"] >= r["+tp+rts"]) >= 2

@@ -1,0 +1,72 @@
+"""Model calibration: analytic placement rules vs discrete-event truth.
+
+The cost model's two placement regimes (owner blocks vs stealing) are
+closed-form; this experiment replays each dataset's full-frontier tile
+decomposition through the discrete-event simulator and reports how close
+the analytic makespans come — the internal-consistency check behind
+every figure.
+"""
+
+import numpy as np
+
+from repro.core.tiling import decompose_frontier
+from repro.gpusim.cost import block_placement
+from repro.gpusim.events import MakespanSimulator, tasks_from_decomposition
+from repro.gpusim.spec import GPUSpec
+from repro.graph import datasets
+
+from conftest import emit
+
+SCALE = 1.0
+SLOTS = 4
+
+
+def test_placement_calibration(benchmark):
+    spec = GPUSpec()
+
+    def sweep():
+        rows = []
+        for ds in datasets.full_suite(SCALE):
+            graph = ds.graph
+            degrees = graph.out_degrees()
+            decomp = decompose_frontier(degrees, spec.block_size, 8)
+            tasks = tasks_from_decomposition(decomp)
+            sim = MakespanSimulator(spec.num_sms, slots_per_sm=SLOTS)
+            owner = sim.simulate(tasks, stealing=False)
+            stolen = sim.simulate(tasks, stealing=True)
+
+            # analytic: owner = busiest SM's block queue / slots;
+            # stealing = work-conserving even split.
+            pad = (-degrees.size) % spec.block_size
+            per_block = np.append(degrees.astype(float),
+                                  np.zeros(pad)).reshape(
+                -1, spec.block_size).sum(axis=1)
+            analytic_owner = block_placement(
+                per_block, spec.num_sms).max() / SLOTS
+            analytic_even = degrees.sum() / (spec.num_sms * SLOTS)
+
+            rows.append({
+                "dataset": ds.name,
+                "sim_owner": round(owner.makespan_cycles, 1),
+                "analytic_owner": round(float(analytic_owner), 1),
+                "sim_steal": round(stolen.makespan_cycles, 1),
+                "analytic_steal": round(float(analytic_even), 1),
+                "steal_speedup": round(
+                    owner.makespan_cycles / stolen.makespan_cycles, 2),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("calibration",
+         "Calibration — analytic placement vs discrete-event simulation "
+         "(full-frontier cycles)", rows)
+    for row in rows:
+        # stealing: simulated makespan within 25% of the analytic even
+        # split (the slack is the longest-task granule)
+        assert row["sim_steal"] <= row["analytic_steal"] * 1.25 + 256
+        assert row["sim_steal"] >= row["analytic_steal"] * 0.99 - 1
+        # owner: analytic busiest-queue is a faithful (slightly
+        # optimistic, slot-packing ignores granularity) estimate
+        assert row["sim_owner"] >= row["analytic_owner"] * 0.9
+        # stealing never loses on these workloads
+        assert row["steal_speedup"] >= 1.0

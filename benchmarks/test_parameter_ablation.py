@@ -1,0 +1,150 @@
+"""Parameter ablations of SAGE's own design knobs.
+
+DESIGN.md calls out three internal choices worth ablating beyond the
+paper's Figure 10:
+
+* **MIN_TILE_SIZE** — smaller minimum tiles reduce fragment work but add
+  partition levels (Section 5.1's binary partition depth).
+* **Tile alignment** — aligning tiles with physical sectors removes the
+  straddling transaction per unaligned gather (Section 5.3).
+* **Compressed adjacency** — the [41]-style varint CSR trades decode
+  compute for CSR bandwidth.
+
+All three run BFS/PR on the twitter stand-in (the most demanding
+distribution) and report GTEPS per configuration.
+"""
+
+import numpy as np
+
+from repro.core import CompressedTraversalScheduler, SageScheduler, run_app
+from repro.bench import app_factory, pick_sources
+from repro.graph import CompressedCSRGraph, datasets
+
+from conftest import emit
+
+SCALE = 1.0
+
+
+def _speed(graph, app_name, scheduler_factory, sources):
+    make_app = app_factory(app_name)
+    if app_name == "pr":
+        return run_app(graph, make_app(), scheduler_factory()).gteps
+    return float(np.mean([
+        run_app(graph, make_app(), scheduler_factory(), source=int(s)).gteps
+        for s in sources
+    ]))
+
+
+def test_min_tile_sweep(benchmark):
+    graph = datasets.twitter_like(SCALE).graph
+    sources = pick_sources(graph, 2, seed=7)
+
+    def sweep():
+        rows = []
+        for min_tile in (4, 8, 16, 32):
+            row = {"min_tile": min_tile}
+            for app_name in ("bfs", "pr"):
+                row[app_name] = round(_speed(
+                    graph, app_name,
+                    lambda mt=min_tile: SageScheduler(min_tile=mt),
+                    sources,
+                ), 4)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_min_tile",
+         "Ablation — MIN_TILE_SIZE sweep (twitter, GTEPS)", rows)
+    speeds = [row["bfs"] for row in rows]
+    # the default (8) must be within 10% of the best setting
+    default = next(r for r in rows if r["min_tile"] == 8)["bfs"]
+    assert default >= 0.9 * max(speeds)
+
+
+def test_tile_alignment(benchmark):
+    graph = datasets.twitter_like(SCALE).graph
+    sources = pick_sources(graph, 2, seed=7)
+
+    def sweep():
+        rows = []
+        for aligned in (True, False):
+            row = {"tile_alignment": aligned}
+            for app_name in ("bfs", "pr"):
+                row[app_name] = round(_speed(
+                    graph, app_name,
+                    lambda a=aligned: SageScheduler(tile_alignment=a),
+                    sources,
+                ), 4)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_alignment",
+         "Ablation — tile alignment (twitter, GTEPS)", rows)
+    aligned = next(r for r in rows if r["tile_alignment"])
+    unaligned = next(r for r in rows if not r["tile_alignment"])
+    # alignment never hurts
+    assert aligned["bfs"] >= unaligned["bfs"]
+    assert aligned["pr"] >= unaligned["pr"]
+
+
+def test_compressed_adjacency(benchmark):
+    def sweep():
+        rows = []
+        for ds in datasets.full_suite(SCALE):
+            graph = ds.graph
+            sources = pick_sources(graph, 2, seed=7)
+            compressed = CompressedCSRGraph.from_csr(graph)
+            rows.append({
+                "dataset": ds.name,
+                "ratio": round(compressed.compression_ratio, 2),
+                "plain_bfs": round(_speed(
+                    graph, "bfs", SageScheduler, sources), 4),
+                "compressed_bfs": round(_speed(
+                    graph, "bfs",
+                    lambda c=compressed: CompressedTraversalScheduler(
+                        SageScheduler(), c),
+                    sources,
+                ), 4),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_compressed",
+         "Ablation — compressed adjacency traversal (GTEPS)", rows)
+    for row in rows:
+        assert row["ratio"] > 1.0
+        # compressed traversal stays within 25% of plain either way
+        assert row["compressed_bfs"] >= 0.75 * row["plain_bfs"]
+
+
+def test_push_vs_pull_pagerank(benchmark):
+    """Atomics ablation: push (scatter+atomics) vs pull (gather, none)."""
+    from repro.apps import PageRankApp, PageRankPullApp
+    from repro.core import run_app
+
+    def sweep():
+        rows = []
+        for ds in datasets.full_suite(SCALE):
+            graph = ds.graph
+            push = run_app(graph, PageRankApp(max_iterations=10),
+                           SageScheduler())
+            pull = run_app(graph.reversed(),
+                           PageRankPullApp(max_iterations=10),
+                           SageScheduler())
+            rows.append({
+                "dataset": ds.name,
+                "push_gteps": round(push.gteps, 4),
+                "pull_gteps": round(pull.gteps, 4),
+                "push_atomics": int(push.profiler.atomic_conflicts),
+            })
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("ablation_push_pull",
+         "Ablation — push vs pull PageRank (GTEPS)", rows)
+    for row in rows:
+        # the pull variant eliminates atomic conflicts entirely
+        assert row["push_atomics"] > 0
+        # both formulations stay within 2x of each other
+        assert row["pull_gteps"] > 0.5 * row["push_gteps"]

@@ -1,0 +1,78 @@
+"""Extension sweeps beyond the paper's fixed operating points.
+
+* **Device-memory sweep** — Figure 8 evaluates one memory budget; here
+  the SAGE-vs-Subway comparison is swept over device fractions to locate
+  the crossover (on-demand access wins harder the more of the graph
+  stays resident across iterations).
+* **GPU-count scaling** — Figure 9 stops at 2 GPUs; the runner
+  generalizes, so this sweep shows where exchange costs flatten the
+  scaling curve.
+"""
+
+import numpy as np
+
+from repro.apps import BFSApp
+from repro.bench import pick_sources
+from repro.core import SageScheduler
+from repro.graph import datasets
+from repro.multigpu import MultiGpuRunner, metis_like
+from repro.outofcore import SageOutOfCoreRunner, SubwayRunner
+
+from conftest import emit
+
+SCALE = 1.0
+
+
+def test_device_fraction_sweep(benchmark):
+    graph = datasets.twitter_like(SCALE).graph
+    sources = pick_sources(graph, 2, seed=7)
+
+    def sweep():
+        rows = []
+        for fraction in (0.05, 0.1, 0.25, 0.5, 0.9):
+            row = {"device_fraction": fraction}
+            for factory in (SubwayRunner, SageOutOfCoreRunner):
+                speeds = []
+                for s in sources:
+                    runner = factory(device_fraction=fraction)
+                    speeds.append(runner.run(graph, BFSApp(), int(s)).gteps)
+                row[factory.name] = round(float(np.mean(speeds)), 4)
+            rows.append(row)
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("sweep_device_fraction",
+         "Sweep — out-of-core BFS vs device memory budget (twitter)", rows)
+    # Subway re-ships the active subgraph regardless of residency, so its
+    # speed is flat in the budget; SAGE improves monotonically-ish.
+    sage = [row["sage-ooc"] for row in rows]
+    assert sage[-1] >= sage[0]
+
+
+def test_gpu_scaling_sweep(benchmark):
+    graph = datasets.friendster_like(SCALE).graph
+    sources = pick_sources(graph, 2, seed=7)
+
+    def sweep():
+        rows = []
+        for k in (1, 2, 4, 8):
+            assignment = metis_like(graph, k) if k > 1 else \
+                np.zeros(graph.num_nodes, dtype=np.int64)
+            speeds = []
+            for s in sources:
+                runner = MultiGpuRunner(
+                    SageScheduler, assignment, num_gpus=k, async_mode=True,
+                )
+                speeds.append(runner.run(graph, BFSApp(), int(s)).gteps)
+            rows.append({"gpus": k,
+                         "gteps": round(float(np.mean(speeds)), 4)})
+        return rows
+
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    emit("sweep_gpu_scaling",
+         "Sweep — async SAGE BFS vs GPU count (friendster, metis-like)",
+         rows)
+    # scaling is sub-linear and eventually flattens (the paper's
+    # "efficient multi-GPU analysis remains open")
+    speeds = [row["gteps"] for row in rows]
+    assert speeds[-1] < speeds[0] * 8

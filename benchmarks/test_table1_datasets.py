@@ -1,0 +1,32 @@
+"""Table 1 — statistics of the five dataset stand-ins.
+
+Paper reference: |V| from 784 K (brain) to 65.6 M (friendster), |E| up to
+1.81 B; brain has the largest average degree (683), the social graphs the
+heaviest skew.  The stand-ins reproduce the *relative* structure at
+simulator-friendly scale.
+"""
+
+from repro.bench import table1_rows
+
+from conftest import run_and_emit
+
+SCALE = 1.0
+
+
+def test_table1(benchmark):
+    rows = run_and_emit(
+        benchmark, "table1",
+        "Table 1 — dataset statistics (synthetic stand-ins)",
+        lambda: table1_rows(SCALE),
+    )
+    assert len(rows) == 5
+    by_name = {r["dataset"]: r for r in rows}
+    # brain: largest average degree, near-uniform
+    assert by_name["brain"]["avg_degree"] == max(
+        r["avg_degree"] for r in rows
+    )
+    assert by_name["brain"]["degree_gini"] < 0.05
+    # twitter: most skewed
+    assert by_name["twitter"]["degree_gini"] == max(
+        r["degree_gini"] for r in rows
+    )

@@ -1,0 +1,25 @@
+"""Table 3 — Tiled Partitioning cost out of running time.
+
+Paper reference: TP overhead is a bounded share of runtime — largest for
+BFS (2-19 %), small for PR (0.3-8.5 %) because PR's full-frontier
+iterations amortize the scheduling work over far more edges.
+"""
+
+from repro.bench import table3_rows
+
+from conftest import run_and_emit
+
+SCALE = 1.0
+
+
+def test_table3(benchmark):
+    rows = run_and_emit(
+        benchmark, "table3",
+        "Table 3 — Tiled Partitioning overhead (ms and % of runtime)",
+        lambda: table3_rows(SCALE, num_sources=3),
+    )
+    for row in rows:
+        for app in ("bfs", "bc", "pr"):
+            assert 0.0 <= row[f"{app}_tp_pct"] <= 35.0
+        # PR amortizes scheduling over |E| edges every iteration
+        assert row["pr_tp_pct"] <= row["bfs_tp_pct"] + 1.0

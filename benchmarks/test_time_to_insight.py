@@ -1,0 +1,46 @@
+"""Time-to-insight session: the paper's launch-latency argument.
+
+Paper reference (Section 1): preprocessing can take hours while "most
+real-world graph analysis can be processed in a few hours" — so a
+preprocessing-free system answers whole query sessions before a
+dedicated system finishes building its structures.  This experiment
+streams BFS queries through three deployment profiles and reports when
+each answer becomes available.
+"""
+
+from repro.bench.session import crossover_query, run_query_session
+from repro.graph import datasets
+
+from conftest import emit
+
+SCALE = 1.0
+QUERIES = 30
+
+
+def test_time_to_insight(benchmark):
+    graph = datasets.twitter_like(SCALE).graph
+
+    traces = benchmark.pedantic(
+        lambda: run_query_session(graph, QUERIES, seed=11),
+        rounds=1, iterations=1,
+    )
+    rows = []
+    for name, trace in traces.items():
+        times = trace.completion_times
+        rows.append({
+            "system": name,
+            "setup_s": round(trace.setup_seconds, 4),
+            "first_answer_s": round(float(times[0]), 4),
+            "q10_done_s": round(float(times[min(9, len(times) - 1)]), 4),
+            "all_done_s": round(trace.total_seconds, 4),
+        })
+    emit("session", f"Time-to-insight — {QUERIES} BFS queries (twitter)",
+         rows)
+
+    sage = traces["sage"]
+    gorder = traces["gorder+gunrock"]
+    # SAGE's first answer arrives before Gorder even finishes preprocessing
+    assert sage.completion_times[0] < gorder.setup_seconds
+    # ... and the whole session completes before the Gorder profile's
+    crossover = crossover_query(sage, gorder)
+    assert crossover is None or crossover > QUERIES // 2

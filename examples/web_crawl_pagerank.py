@@ -1,0 +1,66 @@
+"""Web-graph PageRank: when reordering does (not) pay.
+
+Web crawls assign node ids in discovery order, so uk-2002-style graphs
+already have high id locality — reordering barely helps (paper Section
+7.2).  Scrambled social graphs are the opposite.  This script ranks a
+synthetic web graph, then demonstrates the contrast by measuring sector
+locality and traversal speed before/after reordering on both graph
+types.
+
+Run with:  python examples/web_crawl_pagerank.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps import PageRankApp
+from repro.bench import sage_reorder_rounds
+from repro.core import SageScheduler, run_app
+from repro.graph import datasets, id_locality, sector_span
+
+
+def pr_speed(graph) -> float:
+    return run_app(graph, PageRankApp(max_iterations=15),
+                   SageScheduler()).gteps
+
+
+def main() -> None:
+    web = datasets.uk2002_like(scale=0.7).graph
+    social = datasets.twitter_like(scale=0.7).graph
+
+    # --- rank the web graph ---------------------------------------------
+    result = run_app(
+        web, PageRankApp(max_iterations=40, tolerance=1e-10),
+        SageScheduler(),
+    )
+    ranks = result.result["pagerank"]
+    print(f"web graph {web}: PageRank in {result.iterations} iterations")
+    top = np.argsort(-ranks)[:5]
+    for node in top:
+        print(f"  page {int(node):6d}  score {ranks[node]:.5f}")
+
+    # --- locality contrast ------------------------------------------------
+    print("\nid locality (fraction of edges within 64 ids):")
+    print(f"  web crawl      {id_locality(web, 64):.3f}")
+    print(f"  social graph   {id_locality(social, 64):.3f}")
+
+    print("\neffect of 10 SAGE reordering rounds:")
+    for label, graph in (("web", web), ("social", social)):
+        before_span = sector_span(graph)
+        before_speed = pr_speed(graph)
+        adapted = sage_reorder_rounds(graph, 10,
+                                      checkpoints=(10,)).snapshots[10]
+        after_span = sector_span(adapted)
+        after_speed = pr_speed(adapted)
+        gain = 100.0 * (after_speed - before_speed) / before_speed
+        print(f"  {label:7s} sector span {before_span:6.2f} -> "
+              f"{after_span:6.2f}   PR GTEPS {before_speed:6.2f} -> "
+              f"{after_speed:6.2f}  ({gain:+.1f} %)")
+
+    print("\nAs in the paper: the crawl order is already cache-friendly;")
+    print("the social graph is where runtime reordering earns its keep.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,45 @@
+"""repro — reproduction of "Self-adaptive Graph Traversal on GPUs".
+
+SIGMOD 2021, Mo Sha, Yuchen Li, Kian-Lee Tan.  The CUDA system (SAGE) is
+rebuilt on a functional + analytic GPU simulator so the paper's entire
+evaluation — single-GPU, out-of-core and multi-GPU — runs offline in pure
+Python.  See DESIGN.md for the system inventory and the substitutions.
+
+Quick start::
+
+    from repro.graph import datasets
+    from repro.apps import BFSApp
+    from repro.core import SageScheduler, run_app
+
+    graph = datasets.twitter_like().graph
+    result = run_app(graph, BFSApp(), SageScheduler(), source=0)
+    print(result.gteps, result.result["dist"])
+"""
+
+from repro.core import RunResult, SageScheduler, TraversalPipeline, run_app
+from repro.errors import (
+    ConvergenceError,
+    GraphFormatError,
+    InvalidParameterError,
+    ReproError,
+    SchedulingError,
+    SimulationError,
+)
+from repro.graph import COOGraph, CSRGraph
+
+__version__ = "0.1.0"
+
+__all__ = [
+    "COOGraph",
+    "CSRGraph",
+    "ConvergenceError",
+    "GraphFormatError",
+    "InvalidParameterError",
+    "ReproError",
+    "RunResult",
+    "SageScheduler",
+    "SchedulingError",
+    "SimulationError",
+    "TraversalPipeline",
+    "run_app",
+]

@@ -1,0 +1,40 @@
+"""Node-centric graph applications over the traversal pipeline."""
+
+from repro.apps.base import App, contract
+from repro.apps.bc import BCApp
+from repro.apps.bfs import BFSApp
+from repro.apps.cc import ConnectedComponentsApp
+from repro.apps.functional import FunctionalApp, make_app, one_hot
+from repro.apps.labelprop import LabelPropagationApp
+from repro.apps.msbfs import MAX_SOURCES, MultiSourceBFSApp
+from repro.apps.pagerank import PageRankApp
+from repro.apps.pagerank_pull import PageRankPullApp
+from repro.apps.ppr import PersonalizedPageRankApp
+from repro.apps.scc import (
+    MaskedReachabilityApp,
+    SCCResult,
+    strongly_connected_components,
+)
+from repro.apps.sssp import SSSPApp, synthetic_weights
+
+__all__ = [
+    "App",
+    "BCApp",
+    "BFSApp",
+    "ConnectedComponentsApp",
+    "FunctionalApp",
+    "LabelPropagationApp",
+    "MAX_SOURCES",
+    "MaskedReachabilityApp",
+    "MultiSourceBFSApp",
+    "PageRankApp",
+    "PageRankPullApp",
+    "PersonalizedPageRankApp",
+    "SCCResult",
+    "SSSPApp",
+    "contract",
+    "make_app",
+    "one_hot",
+    "strongly_connected_components",
+    "synthetic_weights",
+]

@@ -1,0 +1,108 @@
+"""Application contract for the expansion-filtering-contraction pipeline.
+
+The paper's framework (Section 4, Algorithm 1) asks developers to
+implement only the ``filter(frontier, neighbor)`` step; expansion and
+contraction are generic.  Here the same contract appears in vectorized
+form: an :class:`App` receives the full edge batch of the current
+iteration (``edge_src[i] -> edge_dst[i]``) and returns the next frontier.
+
+Apps are *semantically* independent of the scheduler: every scheduling
+strategy traverses the same edges, so results are identical across
+SAGE and all baselines (asserted by the integration tests).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+
+class App(ABC):
+    """One node-centric graph application.
+
+    Lifecycle: construct -> :meth:`setup` -> repeatedly
+    :meth:`process_level` with the expanded edges of the frontier it last
+    returned, until it returns an empty frontier.
+    """
+
+    #: short name used in reports ("bfs", "bc", "pr", ...)
+    name: str = "app"
+    #: whether the filter relies on atomic aggregation (Section 7.2:
+    #: BC and PR do, BFS tolerates dirty writes).
+    uses_atomics: bool = False
+    #: scattered value-array accesses per traversed edge (cost model).
+    value_access_factor: float = 1.0
+    #: relative per-edge instruction cost of the filter (cost model).
+    edge_compute_factor: float = 1.0
+    #: whether process_level needs CSR edge positions (e.g. edge weights).
+    needs_edge_positions: bool = False
+
+    def __init__(self) -> None:
+        self.graph: CSRGraph | None = None
+
+    @abstractmethod
+    def setup(self, graph: CSRGraph, source: int | None = None) -> None:
+        """Allocate state for ``graph`` (and ``source`` if used)."""
+
+    @abstractmethod
+    def initial_frontier(self) -> np.ndarray:
+        """Frontier of the first iteration."""
+
+    @abstractmethod
+    def process_level(
+        self,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_pos: np.ndarray | None = None,
+    ) -> np.ndarray:
+        """Apply the filter to one expanded edge batch.
+
+        Args:
+            edge_src: frontier node of each edge.
+            edge_dst: neighbor of each edge.
+            edge_pos: positions of the edges in ``graph.targets`` (only
+                when ``needs_edge_positions``).
+
+        Returns:
+            The contracted next frontier (unique node ids); empty when
+            the application has converged.
+        """
+
+    @abstractmethod
+    def result(self) -> dict[str, np.ndarray]:
+        """Converged outputs, e.g. ``{"dist": ...}``."""
+
+    # ------------------------------------------------------------------
+    # Hooks used by SAGE's self-adaptive machinery
+    # ------------------------------------------------------------------
+
+    def remap_nodes(self, perm: np.ndarray) -> None:
+        """Relabel all node-indexed state after a reordering commit.
+
+        ``perm`` maps old ids to new ids.  The default permutes every
+        1-D array of length ``num_nodes`` found in ``self.__dict__``
+        (value at old index lands at the new index) and remaps stored
+        frontier arrays — subclasses with richer state override this.
+        """
+        if self.graph is None:
+            return
+        n = self.graph.num_nodes
+        for key, val in list(self.__dict__.items()):
+            if isinstance(val, np.ndarray) and val.ndim == 1 and val.size == n:
+                remapped = np.empty_like(val)
+                remapped[perm] = val
+                setattr(self, key, remapped)
+
+    def source_node(self) -> int | None:
+        """The traversal source, if the app has one (for remapping)."""
+        return None
+
+
+def contract(candidates: np.ndarray) -> np.ndarray:
+    """Contraction step: dedupe and sort a candidate frontier."""
+    if candidates.size == 0:
+        return candidates.astype(np.int64)
+    return np.unique(candidates)

@@ -1,0 +1,18 @@
+"""Reimplementations of the paper's baseline scheduling strategies."""
+
+from repro.baselines.b40c import B40CScheduler
+from repro.baselines.gunrock import GrouteScheduler, GunrockScheduler
+from repro.baselines.ligra import LigraRunner
+from repro.baselines.thread_per_node import ThreadPerNodeScheduler
+from repro.baselines.tigr import TigrScheduler, UDTTransform, udt_transform
+
+__all__ = [
+    "B40CScheduler",
+    "GrouteScheduler",
+    "GunrockScheduler",
+    "LigraRunner",
+    "ThreadPerNodeScheduler",
+    "TigrScheduler",
+    "UDTTransform",
+    "udt_transform",
+]

@@ -1,0 +1,26 @@
+"""Naive thread-per-node scheduling (the textbook GPU baseline).
+
+One thread per frontier node walks that node's whole adjacency.  With
+power-law degrees, the warp executes until its *largest* member finishes
+(warp divergence, Section 3.1) and every lane's adjacency walk is
+uncoalesced.  SAGE's ablation baseline is the same mapping; this class
+exposes it under its own name for the comparison figures.
+"""
+
+from __future__ import annotations
+
+from repro.core.engine import SageScheduler
+from repro.gpusim.spec import GPUSpec
+
+
+class ThreadPerNodeScheduler(SageScheduler):
+    """Plain node-parallel mapping: no tiling, no stealing, no reorder."""
+
+    def __init__(self, spec: GPUSpec | None = None) -> None:
+        super().__init__(
+            spec,
+            tiled_partitioning=False,
+            resident_stealing=False,
+            sampling_reorder=False,
+        )
+        self.name = "thread-per-node"

@@ -1,0 +1,72 @@
+"""Terminal bar charts for experiment rows.
+
+The paper's figures are grouped bar charts; the benchmark harness prints
+tables for machines and these horizontal ASCII bars for humans.  Pure
+text, no plotting dependency.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.errors import InvalidParameterError
+
+BAR_CHAR = "#"
+
+
+def format_bars(
+    rows: Sequence[dict[str, object]],
+    label_key: str,
+    value_keys: Sequence[str],
+    *,
+    width: int = 48,
+    title: str = "",
+) -> str:
+    """Render grouped horizontal bars, one group per row.
+
+    Args:
+        rows: uniform dict rows (as produced by the harness).
+        label_key: column naming each group (e.g. ``"dataset"``).
+        value_keys: numeric columns to draw, one bar each per group.
+        width: character width of the longest bar.
+        title: optional heading.
+
+    Returns:
+        The chart as a multi-line string; all bars share one scale.
+    """
+    if width < 1:
+        raise InvalidParameterError("width must be >= 1")
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    missing = [k for k in [label_key, *value_keys] if k not in rows[0]]
+    if missing:
+        raise InvalidParameterError(f"rows lack columns: {missing}")
+
+    values = {
+        (i, key): float(row[key])  # type: ignore[arg-type]
+        for i, row in enumerate(rows)
+        for key in value_keys
+    }
+    peak = max(values.values(), default=0.0)
+    if peak <= 0:
+        peak = 1.0
+    label_width = max(len(str(row[label_key])) for row in rows)
+    series_width = max(len(k) for k in value_keys)
+
+    lines: list[str] = []
+    if title:
+        lines.append(title)
+        lines.append("")
+    for i, row in enumerate(rows):
+        group = str(row[label_key])
+        for j, key in enumerate(value_keys):
+            value = values[(i, key)]
+            bar = BAR_CHAR * max(1 if value > 0 else 0,
+                                 round(width * value / peak))
+            prefix = group if j == 0 else ""
+            lines.append(
+                f"{prefix:<{label_width}}  {key:<{series_width}} "
+                f"|{bar:<{width}}| {value:g}"
+            )
+        lines.append("")
+    return "\n".join(lines).rstrip()

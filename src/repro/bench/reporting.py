@@ -1,0 +1,32 @@
+"""Plain-text table rendering for experiment rows."""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def format_table(rows: Sequence[dict[str, object]], title: str = "") -> str:
+    """Render a list of uniform dict rows as an aligned text table."""
+    if not rows:
+        return f"{title}\n(no rows)" if title else "(no rows)"
+    columns = list(rows[0].keys())
+    cells = [[_fmt(row.get(col, "")) for col in columns] for row in rows]
+    widths = [
+        max(len(col), *(len(r[i]) for r in cells))
+        for i, col in enumerate(columns)
+    ]
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(col.ljust(w) for col, w in zip(columns, widths))
+    lines.append(header)
+    lines.append("-" * len(header))
+    for r in cells:
+        lines.append("  ".join(val.ljust(w) for val, w in zip(r, widths)))
+    return "\n".join(lines)
+
+
+def _fmt(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)

@@ -1,0 +1,82 @@
+"""Run every experiment without pytest: ``python -m repro.bench.run_all``.
+
+Executes each table/figure driver (and optionally a reduced extension
+set), writes the result tables under ``benchmarks/results/`` and
+regenerates EXPERIMENTS.md — the one-command reproduction entry point
+for users who do not want the pytest/benchmark tooling.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import time
+
+from repro.bench.experiments_md import generate
+from repro.bench.harness import (
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.bench.reporting import format_table
+
+EXPERIMENTS: list[tuple[str, str, object]] = [
+    ("table1", "Table 1 — dataset statistics (synthetic stand-ins)",
+     lambda scale: table1_rows(scale)),
+    ("table2", "Table 2 — reordering time consumption (seconds)",
+     lambda scale: table2_rows(scale, sage_rounds=3)),
+    ("table3", "Table 3 — Tiled Partitioning overhead (ms and % of runtime)",
+     lambda scale: table3_rows(scale, num_sources=3)),
+    ("fig6", "Figure 6 — traversal GTEPS under orderings "
+             "(sage_k = after k reorder rounds)",
+     lambda scale: fig6_rows(scale, num_sources=2)),
+    ("fig7", "Figure 7 — GTEPS, PGP approaches with/without Gorder",
+     lambda scale: fig7_rows(scale, num_sources=2)),
+    ("fig8", "Figure 8 — out-of-core BFS GTEPS (device = 25% of graph)",
+     lambda scale: fig8_rows(scale, num_sources=3)),
+    ("fig9", "Figure 9 — multi-GPU BFS GTEPS",
+     lambda scale: fig9_rows(scale, num_sources=3)),
+    ("fig10", "Figure 10 — ablation GTEPS (features applied incrementally)",
+     lambda scale: fig10_rows(scale, num_sources=2, reorder_rounds=10)),
+]
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--scale", type=float, default=1.0,
+                        help="dataset scale (1.0 = benchmark default)")
+    parser.add_argument("--only", nargs="*", default=None,
+                        metavar="EXP",
+                        help="subset of experiment names (e.g. fig6 fig10)")
+    parser.add_argument("--results", type=pathlib.Path,
+                        default=pathlib.Path("benchmarks/results"))
+    parser.add_argument("--experiments-md", type=pathlib.Path,
+                        default=pathlib.Path("EXPERIMENTS.md"))
+    args = parser.parse_args(argv)
+
+    args.results.mkdir(parents=True, exist_ok=True)
+    wanted = set(args.only) if args.only else None
+    for name, title, fn in EXPERIMENTS:
+        if wanted is not None and name not in wanted:
+            continue
+        started = time.perf_counter()
+        rows = fn(args.scale)
+        elapsed = time.perf_counter() - started
+        text = format_table(rows, title)
+        (args.results / f"{name}.txt").write_text(text + "\n",
+                                                  encoding="utf-8")
+        print(text)
+        print(f"[{name} regenerated in {elapsed:.1f} s]\n")
+
+    args.experiments_md.write_text(generate(args.results), encoding="utf-8")
+    print(f"wrote {args.experiments_md}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

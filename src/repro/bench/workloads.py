@@ -1,0 +1,50 @@
+"""Workload helpers shared by experiments and examples."""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.apps import BCApp, BFSApp, PageRankApp
+from repro.apps.base import App
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+
+#: The paper's three evaluated applications (Section 7.2).
+APP_NAMES = ("bfs", "bc", "pr")
+
+
+def app_factory(name: str) -> Callable[[], App]:
+    """Factory for the paper's applications by short name."""
+    factories: dict[str, Callable[[], App]] = {
+        "bfs": BFSApp,
+        "bc": BCApp,
+        "pr": lambda: PageRankApp(max_iterations=10),
+    }
+    if name not in factories:
+        raise InvalidParameterError(f"unknown app {name!r}")
+    return factories[name]
+
+
+def needs_source(name: str) -> bool:
+    """Whether the app takes a traversal source (BFS/BC do, PR doesn't)."""
+    return name in ("bfs", "bc")
+
+
+def pick_sources(
+    graph: CSRGraph, count: int, seed: int = 0
+) -> np.ndarray:
+    """Random traversal sources with non-zero out-degree.
+
+    The paper measures BFS/BC from randomly selected source nodes
+    (Section 7.2); zero-degree sources would produce empty traversals.
+    """
+    degrees = graph.out_degrees()
+    candidates = np.flatnonzero(degrees > 0)
+    if candidates.size == 0:
+        raise InvalidParameterError("graph has no node with out-degree > 0")
+    rng = np.random.default_rng(seed)
+    picks = rng.choice(candidates, size=min(count, candidates.size),
+                       replace=count > candidates.size)
+    return np.asarray(picks, dtype=np.int64)

@@ -1,0 +1,273 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Subcommands:
+
+* ``info``      — Table-1 style statistics for a dataset or edge-list file
+* ``generate``  — write a synthetic dataset as a SNAP edge list
+* ``run``       — run an application with a chosen scheduler, print timing
+* ``reorder``   — apply a reordering method, report locality + cost
+* ``scc``       — strongly-connected-component decomposition
+* ``experiment``— regenerate one paper table/figure from the harness
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+import numpy as np
+
+from repro.apps import (
+    BCApp,
+    BFSApp,
+    ConnectedComponentsApp,
+    LabelPropagationApp,
+    PageRankApp,
+    SSSPApp,
+)
+from repro.apps.scc import strongly_connected_components
+from repro.baselines import (
+    B40CScheduler,
+    GunrockScheduler,
+    LigraRunner,
+    ThreadPerNodeScheduler,
+    TigrScheduler,
+)
+from repro.bench import (
+    fig6_rows,
+    fig7_rows,
+    fig8_rows,
+    fig9_rows,
+    fig10_rows,
+    format_table,
+    sage_reorder_rounds,
+    table1_rows,
+    table2_rows,
+    table3_rows,
+)
+from repro.core import SageScheduler, run_app
+from repro.graph import datasets, degree_stats, id_locality, io, sector_span
+from repro.graph.csr import CSRGraph
+from repro.reorder import (
+    bfs_order,
+    degree_order,
+    gorder_order,
+    llp_order,
+    random_perm,
+    rcm_order,
+    timed_ordering,
+)
+
+DATASETS = ("uk-2002", "brain", "ljournal", "twitter", "friendster")
+
+APPS = {
+    "bfs": BFSApp,
+    "bc": BCApp,
+    "pr": lambda: PageRankApp(max_iterations=20),
+    "cc": ConnectedComponentsApp,
+    "sssp": SSSPApp,
+    "lp": LabelPropagationApp,
+}
+
+SCHEDULERS = {
+    "sage": SageScheduler,
+    "sage-sr": lambda: SageScheduler(sampling_reorder=True),
+    "tpn": ThreadPerNodeScheduler,
+    "b40c": B40CScheduler,
+    "tigr": TigrScheduler,
+    "gunrock": GunrockScheduler,
+}
+
+EXPERIMENTS = {
+    "table1": lambda scale: table1_rows(scale),
+    "table2": lambda scale: table2_rows(scale),
+    "table3": lambda scale: table3_rows(scale),
+    "fig6": lambda scale: fig6_rows(scale, num_sources=2),
+    "fig7": lambda scale: fig7_rows(scale, num_sources=2),
+    "fig8": lambda scale: fig8_rows(scale),
+    "fig9": lambda scale: fig9_rows(scale),
+    "fig10": lambda scale: fig10_rows(scale, num_sources=2),
+}
+
+REORDER_METHODS = {
+    "rcm": rcm_order,
+    "llp": llp_order,
+    "gorder": gorder_order,
+    "degree": degree_order,
+    "bfs": bfs_order,
+}
+
+
+def _load_graph(args: argparse.Namespace) -> CSRGraph:
+    if args.file:
+        return io.read_edge_list(args.file)
+    return datasets.by_name(args.dataset, args.scale).graph
+
+
+def _add_graph_args(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--dataset", choices=DATASETS, default="twitter",
+                        help="built-in synthetic dataset stand-in")
+    parser.add_argument("--scale", type=float, default=0.5,
+                        help="dataset scale factor")
+    parser.add_argument("--file", default=None,
+                        help="read a SNAP edge list instead")
+
+
+def cmd_info(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    stats = degree_stats(graph)
+    print(graph)
+    print(f"  avg degree     {stats.mean:10.2f}")
+    print(f"  median degree  {stats.median:10.2f}")
+    print(f"  max degree     {stats.maximum:10d}")
+    print(f"  degree gini    {stats.gini:10.3f}")
+    print(f"  p99 degree     {stats.p99:10.1f}")
+    print(f"  id locality    {id_locality(graph, 64):10.3f}")
+    print(f"  sector span    {sector_span(graph):10.2f}")
+    return 0
+
+
+def cmd_generate(args: argparse.Namespace) -> int:
+    graph = datasets.by_name(args.dataset, args.scale).graph
+    io.write_edge_list(graph, args.out)
+    print(f"wrote {graph} to {args.out}")
+    return 0
+
+
+def cmd_run(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    make_app = APPS[args.app]
+    source = args.source
+    if source is None and args.app in ("bfs", "bc", "sssp"):
+        source = int(np.argmax(graph.out_degrees()))
+    app = make_app()
+    if args.scheduler == "ligra":
+        result = LigraRunner().run(graph, app, source)
+    else:
+        result = run_app(graph, app, SCHEDULERS[args.scheduler](),
+                         source=source)
+    print(f"{args.app} on {graph} with {result.scheduler_name}"
+          + (f" from source {source}" if source is not None else ""))
+    print(f"  simulated time   {result.seconds * 1e3:10.4f} ms")
+    print(f"  iterations       {result.iterations:10d}")
+    print(f"  edges traversed  {result.edges_traversed:10d}")
+    print(f"  traversal speed  {result.gteps:10.3f} GTEPS")
+    if result.reorder_commits:
+        print(f"  reorder commits  {result.reorder_commits:10d}")
+    if args.profile:
+        print("profile:")
+        for line in result.profiler.format_summary().splitlines():
+            print(f"  {line}")
+    if args.validate:
+        from repro.validate import validate_run
+        validate_run(graph, args.app, result.result, source,
+                     weights=getattr(app, "weights", None))
+        print("  validation: results match the reference implementation")
+    return 0
+
+
+def cmd_reorder(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    before = sector_span(graph)
+    if args.method == "sage":
+        rounds = sage_reorder_rounds(graph, args.rounds,
+                                     checkpoints=(args.rounds,))
+        after_graph = rounds.snapshots[args.rounds]
+        seconds = sum(rounds.per_round_seconds)
+        label = f"sage x{args.rounds} rounds"
+    elif args.method == "random":
+        after_graph = graph.permute(random_perm(graph.num_nodes))
+        seconds = 0.0
+        label = "random"
+    else:
+        timed = timed_ordering(args.method, REORDER_METHODS[args.method],
+                               graph)
+        after_graph = graph.permute(timed.perm)
+        seconds = timed.seconds
+        label = args.method
+    after = sector_span(after_graph)
+    print(f"{label} on {graph}")
+    print(f"  wall-clock cost   {seconds:10.3f} s")
+    print(f"  sector span       {before:10.2f} -> {after:.2f} "
+          f"({100 * (after - before) / before:+.1f} %)")
+    return 0
+
+
+def cmd_scc(args: argparse.Namespace) -> int:
+    graph = _load_graph(args)
+    result = strongly_connected_components(graph, SCHEDULERS[args.scheduler])
+    sizes = np.bincount(result.labels)
+    sizes = np.sort(sizes[sizes > 0])[::-1]
+    print(f"SCC decomposition of {graph}")
+    print(f"  components       {result.num_components:10d}")
+    print(f"  largest SCC      {int(sizes[0]):10d} nodes")
+    print(f"  reachability sweeps {result.sweeps:7d} "
+          f"(trimmed {result.trimmed} trivial nodes)")
+    print(f"  simulated time   {result.seconds * 1e3:10.4f} ms")
+    return 0
+
+
+def cmd_experiment(args: argparse.Namespace) -> int:
+    rows = EXPERIMENTS[args.name](args.scale)
+    print(format_table(rows, f"{args.name} (scale {args.scale})"))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="SAGE reproduction toolkit (SIGMOD 2021)",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    p = sub.add_parser("info", help="graph statistics")
+    _add_graph_args(p)
+    p.set_defaults(fn=cmd_info)
+
+    p = sub.add_parser("generate", help="write a dataset as an edge list")
+    p.add_argument("--dataset", choices=DATASETS, default="twitter")
+    p.add_argument("--scale", type=float, default=0.5)
+    p.add_argument("--out", required=True)
+    p.set_defaults(fn=cmd_generate)
+
+    p = sub.add_parser("run", help="run an application")
+    _add_graph_args(p)
+    p.add_argument("--app", choices=sorted(APPS), default="bfs")
+    p.add_argument("--scheduler",
+                   choices=sorted(SCHEDULERS) + ["ligra"], default="sage")
+    p.add_argument("--source", type=int, default=None)
+    p.add_argument("--profile", action="store_true",
+                   help="print simulator counters after the run")
+    p.add_argument("--validate", action="store_true",
+                   help="check results against the reference oracle")
+    p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser("reorder", help="apply a reordering method")
+    _add_graph_args(p)
+    p.add_argument("--method",
+                   choices=sorted(REORDER_METHODS) + ["sage", "random"],
+                   default="sage")
+    p.add_argument("--rounds", type=int, default=5,
+                   help="rounds for --method sage")
+    p.set_defaults(fn=cmd_reorder)
+
+    p = sub.add_parser("scc", help="strongly connected components")
+    _add_graph_args(p)
+    p.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="sage")
+    p.set_defaults(fn=cmd_scc)
+
+    p = sub.add_parser("experiment", help="regenerate a paper table/figure")
+    p.add_argument("name", choices=sorted(EXPERIMENTS))
+    p.add_argument("--scale", type=float, default=0.3)
+    p.set_defaults(fn=cmd_experiment)
+
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.fn(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via main()
+    sys.exit(main())

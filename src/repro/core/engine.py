@@ -1,0 +1,292 @@
+"""The SAGE scheduler: self-adaptive graph traversal (paper Section 5).
+
+:class:`SageScheduler` composes the three techniques behind feature flags
+so the ablation study (Figure 10) can enable them incrementally:
+
+* ``tiled_partitioning`` — Algorithm 2's runtime load reallocation.
+  Off, the engine degenerates to naive thread-per-node mapping (the
+  ablation baseline).
+* ``resident_stealing`` — Algorithm 3: tiles are expanded to device
+  memory once per node, reused on revisits, and consumable by any SM
+  (work conserving, high concurrency).
+* ``sampling_reorder`` — Section 6's Sampling-based Reordering, running
+  rounds whenever the sampled access volume passes the threshold.
+
+Cost accounting: the per-technique overhead constants below are the
+simulator's stand-ins for the synchronization/voting instruction costs of
+real cooperative groups; they are *per work item across all threads* and
+get divided by the SM count (overheads execute in parallel per SM).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.core.reorder import SamplingReorderer
+from repro.core.resident import ResidentTileStore, TILE_RECORD_BYTES
+from repro.core.scheduler import (
+    ReorderCommit,
+    Scheduler,
+    atomic_conflicts_for,
+    csr_gather_sectors,
+    value_sector_accounting,
+)
+from repro.core.tiling import DEFAULT_MIN_TILE, decompose_frontier
+from repro.graph.csr import CSRGraph
+from repro.gpusim.cost import KernelStats, block_placement, even_placement
+from repro.gpusim.spec import GPUSpec
+
+# Scheduling-cost constants (lane-cycles per work item).
+ELECTION_CYCLES = 24.0      # ballot + elect + three shuffles (Alg. 2 l.10-19)
+TILE_ROUND_CYCLES = 4.0     # per-round vote + pointer bump (Alg. 2 l.21-25)
+PARTITION_CYCLES = 16.0     # cg::partition per block per level (Alg. 2 l.28)
+FRAGMENT_SETUP_CYCLES = 8.0  # scan-based gather setup per fragment node
+TILE_WRITE_CYCLES = 6.0     # expandTiles store per new tile (Alg. 3 l.3)
+TILE_CONSUME_CYCLES = 2.0   # popping a resident tile from the global queue
+SAMPLE_CYCLES = 16.0        # Alg. 4 shared-memory counting per sampled tile
+
+
+class SageScheduler(Scheduler):
+    """Self-adaptive scheduler (Tiled Partitioning + RTS + reordering)."""
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        *,
+        tiled_partitioning: bool = True,
+        resident_stealing: bool = True,
+        sampling_reorder: bool = False,
+        min_tile: int = DEFAULT_MIN_TILE,
+        tile_alignment: bool = True,
+        reorder_threshold_edges: int | None = None,
+        reorder_seed: int = 0,
+    ) -> None:
+        super().__init__(spec)
+        self.tiled_partitioning = tiled_partitioning
+        self.resident_stealing = resident_stealing
+        self.sampling_reorder = sampling_reorder
+        self.min_tile = min_tile
+        # Section 5.3's tile alignment strategy: tiles aligned with
+        # physical memory sectors so coalesced gathers never straddle;
+        # exposed as a flag for the parameter ablation.
+        self.tile_alignment = tile_alignment
+        self.reorder_threshold_edges = reorder_threshold_edges
+        self.reorder_seed = reorder_seed
+        self._store: ResidentTileStore | None = None
+        self._reorderer: SamplingReorderer | None = None
+        self.name = self._build_name()
+
+    def _build_name(self) -> str:
+        parts = ["sage"]
+        if self.tiled_partitioning:
+            parts.append("tp")
+        if self.resident_stealing:
+            parts.append("rts")
+        if self.sampling_reorder:
+            parts.append("sr")
+        return "+".join(parts) if len(parts) > 1 else "sage-base"
+
+    # ------------------------------------------------------------------
+    # Scheduler interface
+    # ------------------------------------------------------------------
+
+    def reset(self, graph: CSRGraph) -> None:
+        self._store = ResidentTileStore(graph) if self.resident_stealing else None
+        if self.sampling_reorder:
+            threshold = self.reorder_threshold_edges
+            if threshold is None:
+                threshold = graph.num_edges
+            self._reorderer = SamplingReorderer(
+                graph.num_nodes,
+                self.spec,
+                threshold_edges=threshold,
+                seed=self.reorder_seed,
+            )
+        else:
+            self._reorderer = None
+
+    def kernel_stats(
+        self,
+        frontier: np.ndarray,
+        degrees: np.ndarray,
+        edge_dst: np.ndarray,
+        graph: CSRGraph,
+        app: App,
+    ) -> KernelStats:
+        if not self.tiled_partitioning:
+            return self._thread_per_node_stats(frontier, degrees, edge_dst, app)
+        return self._tiled_stats(frontier, degrees, edge_dst, graph, app)
+
+    def post_level(self, graph: CSRGraph) -> ReorderCommit | None:
+        if self._reorderer is None or not self._reorderer.ready:
+            return None
+        outcome = self._reorderer.compute_round()
+        if outcome.is_identity:
+            return None
+        stats = self._reorderer.update_stats(graph.num_nodes, graph.num_edges)
+        return ReorderCommit(perm=outcome.perm, update_stats=stats)
+
+    def notify_reordered(self, perm: np.ndarray) -> None:
+        # Stored tile records point at stale CSR offsets after the
+        # representation update — drop them (Section 6's update step).
+        if self._store is not None:
+            self._store.invalidate_all()
+
+    # ------------------------------------------------------------------
+    # Cost accounting
+    # ------------------------------------------------------------------
+
+    def _tiled_stats(
+        self,
+        frontier: np.ndarray,
+        degrees: np.ndarray,
+        edge_dst: np.ndarray,
+        graph: CSRGraph,
+        app: App,
+    ) -> KernelStats:
+        spec = self.spec
+        decomp = decompose_frontier(degrees, spec.block_size, self.min_tile)
+        cum_deg = np.cumsum(degrees) - degrees
+        seg_starts = decomp.segment_starts(cum_deg)
+        touches, unique = value_sector_accounting(
+            edge_dst, seg_starts, spec,
+            presorted=True, access_factor=app.value_access_factor,
+        )
+        seg_sizes = np.diff(np.append(seg_starts, edge_dst.size))
+        csr_sectors = csr_gather_sectors(
+            seg_sizes, spec, aligned=self.tile_alignment
+        )
+
+        active = int(edge_dst.size)
+        issued = active  # power-of-two tiles are divergence-free
+        num_blocks = max(1, -(-frontier.size // spec.block_size))
+        warps_per_block = spec.block_size // spec.warp_size
+        total_tiles = decomp.num_tiles + decomp.fragment_frontier_idx.size
+
+        if self.resident_stealing:
+            assert self._store is not None
+            tiles_per_node = np.zeros(frontier.size, dtype=np.int64)
+            np.add.at(tiles_per_node, decomp.tile_frontier_idx, 1)
+            np.add.at(tiles_per_node, decomp.fragment_frontier_idx, 1)
+            _, new_nodes, new_tiles = self._store.visit(frontier, tiles_per_node)
+            # Scheduling decisions are resident: new nodes pay the tile
+            # write; everything else is a cheap queue pop.
+            overhead_work = (
+                new_tiles * TILE_WRITE_CYCLES
+                + total_tiles * TILE_CONSUME_CYCLES
+                + decomp.fragment_frontier_idx.size * FRAGMENT_SETUP_CYCLES
+            )
+            extra_bytes = float(new_tiles * TILE_RECORD_BYTES)
+            placement = even_placement(issued, spec.num_sms)
+            device_warp_cap = spec.num_sms * spec.max_resident_warps_per_sm
+            concurrency = float(min(total_tiles, device_warp_cap))
+        else:
+            # Dynamic scheduling repeats every visit; tiles are consumed
+            # sequentially inside their owner block (Figure 4a).
+            overhead_work = (
+                decomp.elections * ELECTION_CYCLES
+                + decomp.num_tiles * TILE_ROUND_CYCLES
+                + num_blocks * decomp.levels * PARTITION_CYCLES
+                + decomp.fragment_frontier_idx.size * FRAGMENT_SETUP_CYCLES
+            )
+            extra_bytes = 0.0
+            per_block = self._per_block_lane_cycles(degrees, spec.block_size)
+            placement = block_placement(per_block, spec.num_sms)
+            # A block works one tile at a time (Figure 4a), but that tile
+            # spans the block's lanes, so the loads in flight match the
+            # block's resident warps; RTS's edge is device-wide tiles.
+            concurrency = float(num_blocks * warps_per_block)
+
+        overhead_cycles = overhead_work / spec.num_sms
+        if self._reorderer is not None:
+            self._reorderer.observe(edge_dst, seg_starts)
+            overhead_cycles += (
+                self._reorderer.sampler.tile_sample_rate
+                * total_tiles * SAMPLE_CYCLES / spec.num_sms
+            )
+
+        return KernelStats(
+            active_edges=active,
+            issued_lane_cycles=issued,
+            per_sm_lane_cycles=placement,
+            value_sector_touches=touches,
+            value_sector_unique=unique,
+            csr_sector_touches=csr_sectors,
+            concurrency_warps=max(1.0, concurrency),
+            overhead_cycles=overhead_cycles,
+            extra_dram_bytes=extra_bytes,
+            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            compute_scale=app.edge_compute_factor,
+        )
+
+    def _thread_per_node_stats(
+        self,
+        frontier: np.ndarray,
+        degrees: np.ndarray,
+        edge_dst: np.ndarray,
+        app: App,
+    ) -> KernelStats:
+        """Ablation baseline: one thread per frontier node, no cooperation.
+
+        A warp of 32 consecutive frontier nodes executes until its
+        largest degree finishes — the textbook divergence failure mode on
+        skewed graphs (Section 3.1).  Memory accesses are fully
+        uncoalesced (each lane walks its own adjacency).
+        """
+        spec = self.spec
+        active = int(edge_dst.size)
+        pad = (-degrees.size) % spec.warp_size
+        padded = np.append(degrees, np.zeros(pad, dtype=degrees.dtype))
+        per_warp_max = padded.reshape(-1, spec.warp_size).max(axis=1)
+        issued = int((per_warp_max * spec.warp_size).sum())
+        num_blocks = max(1, -(-frontier.size // spec.block_size))
+        per_block = self._per_block_lane_cycles(
+            np.repeat(per_warp_max, spec.warp_size)[:degrees.size]
+            if degrees.size else degrees,
+            spec.block_size,
+        )
+        touches = int(round(active * app.value_access_factor))
+        unique = int(np.unique(edge_dst // spec.sector_width).size) if active else 0
+        unique = min(touches, int(round(unique * app.value_access_factor)))
+        return KernelStats(
+            active_edges=active,
+            issued_lane_cycles=max(issued, active),
+            per_sm_lane_cycles=block_placement(per_block, spec.num_sms),
+            value_sector_touches=touches,
+            value_sector_unique=unique,
+            csr_sector_touches=active,  # uncoalesced adjacency reads
+            concurrency_warps=max(1.0, float(num_blocks
+                                             * spec.block_size
+                                             // spec.warp_size)),
+            overhead_cycles=0.0,
+            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            compute_scale=app.edge_compute_factor,
+        )
+
+    @staticmethod
+    def _per_block_lane_cycles(
+        degrees: np.ndarray, block_size: int
+    ) -> np.ndarray:
+        """Lane-cycles per owner block (contiguous frontier chunks)."""
+        if degrees.size == 0:
+            return np.zeros(1)
+        pad = (-degrees.size) % block_size
+        padded = np.append(
+            np.asarray(degrees, dtype=np.float64), np.zeros(pad)
+        )
+        return padded.reshape(-1, block_size).sum(axis=1)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+
+    @property
+    def resident_store(self) -> ResidentTileStore | None:
+        """The resident tile store (None when RTS is disabled)."""
+        return self._store
+
+    @property
+    def reorderer(self) -> SamplingReorderer | None:
+        """The sampling reorderer (None when SR is disabled)."""
+        return self._reorderer

@@ -1,0 +1,179 @@
+"""The expansion-filtering-contraction pipeline (paper Figure 2).
+
+:class:`TraversalPipeline` drives one application over one graph with one
+scheduler on one simulated device:
+
+1. **expansion** — gather the out-edges of every frontier node,
+2. **filtering** — the application's vectorized filter over the batch,
+3. **contraction** — the filtered neighbors become the next frontier.
+
+The scheduler scores each iteration as a kernel; self-adaptive schedulers
+may additionally commit a node reordering between iterations, which the
+pipeline applies to the graph, the application state, the frontier and
+(transparently) the traversal's source.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.core.frontier import FrontierQueue
+from repro.core.scheduler import Scheduler
+from repro.errors import ConvergenceError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.gpusim.profiler import Profiler
+
+
+@dataclass
+class RunResult:
+    """Outcome of one application run.
+
+    ``result`` arrays are expressed in the *original* node ids even when
+    self-adaptive reordering relabeled the graph mid-run.
+    """
+
+    app_name: str
+    scheduler_name: str
+    seconds: float
+    iterations: int
+    edges_traversed: int
+    result: dict[str, np.ndarray]
+    profiler: Profiler
+    reorder_commits: int = 0
+    final_perm: np.ndarray | None = None
+    extras: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def teps(self) -> float:
+        """Traversed edges per second (the paper's headline metric)."""
+        return self.edges_traversed / self.seconds if self.seconds > 0 else 0.0
+
+    @property
+    def gteps(self) -> float:
+        """Billions of traversed edges per second (paper figures' unit)."""
+        return self.teps / 1e9
+
+
+class TraversalPipeline:
+    """Runs apps over a graph with a given scheduler and device."""
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        scheduler: Scheduler,
+        device: Device | None = None,
+        *,
+        max_iterations: int = 100_000,
+    ) -> None:
+        self.graph = graph
+        self.scheduler = scheduler
+        self.device = device or Device(scheduler.spec)
+        self.max_iterations = max_iterations
+
+    def run(self, app: App, source: int | None = None) -> RunResult:
+        """Execute ``app`` to convergence and return timing + results.
+
+        The device clock is read differentially, so one pipeline/device
+        pair can serve many runs while the profiler keeps accumulating.
+        """
+        graph = self.graph
+        scheduler = self.scheduler
+        device = self.device
+        start_seconds = device.elapsed_seconds
+        start_profile = device.profiler
+
+        app.setup(graph, source)
+        scheduler.reset(graph)
+        queue = FrontierQueue(app.initial_frontier())
+        # total_perm maps original ids -> current ids across all commits.
+        total_perm: np.ndarray | None = None
+        edges_traversed = 0
+        iterations = 0
+        commits = 0
+
+        while not queue.empty:
+            if iterations >= self.max_iterations:
+                raise ConvergenceError(
+                    f"{app.name} exceeded {self.max_iterations} iterations"
+                )
+            frontier = queue.current
+            edge_src, edge_dst, edge_pos = graph.expand_frontier(frontier)
+            degrees = graph.offsets[frontier + 1] - graph.offsets[frontier]
+            stats = scheduler.kernel_stats(
+                frontier, degrees, edge_dst, graph, app
+            )
+            device.run_kernel(stats)
+            edges_traversed += int(edge_dst.size)
+            next_frontier = app.process_level(
+                edge_src, edge_dst,
+                edge_pos if app.needs_edge_positions else None,
+            )
+            queue.publish_next(next_frontier)
+            queue.swap()
+            iterations += 1
+
+            commit = scheduler.post_level(graph)
+            if commit is not None:
+                device.run_kernel(commit.update_stats)
+                graph = graph.permute(commit.perm)
+                app.graph = graph
+                app.remap_nodes(commit.perm)
+                queue.remap(commit.perm)
+                scheduler.notify_reordered(commit.perm)
+                total_perm = (
+                    commit.perm if total_perm is None
+                    else commit.perm[total_perm]
+                )
+                commits += 1
+
+        self.graph = graph
+        results = app.result()
+        if total_perm is not None:
+            # Express outputs in original ids: original node i now lives
+            # at index total_perm[i].  Node-indexed data may live in the
+            # last axis of higher-rank arrays (e.g. multi-source level
+            # matrices), so remap that axis whenever it spans the nodes.
+            n = graph.num_nodes
+            remapped = {}
+            for key, val in results.items():
+                arr = np.asarray(val)
+                if arr.ndim >= 1 and arr.shape[-1] == n:
+                    remapped[key] = arr[..., total_perm]
+                else:
+                    remapped[key] = arr
+            results = remapped
+        profiler = device.profiler
+        if profiler is start_profile:
+            # Differential view over a shared device: report only this
+            # run's counters when possible.
+            run_profiler = profiler
+        else:  # pragma: no cover - device was reset mid-run
+            run_profiler = profiler
+        return RunResult(
+            app_name=app.name,
+            scheduler_name=scheduler.name,
+            seconds=device.elapsed_seconds - start_seconds,
+            iterations=iterations,
+            edges_traversed=edges_traversed,
+            result=results,
+            profiler=run_profiler,
+            reorder_commits=commits,
+            final_perm=total_perm,
+        )
+
+
+def run_app(
+    graph: CSRGraph,
+    app: App,
+    scheduler: Scheduler,
+    source: int | None = None,
+    *,
+    device: Device | None = None,
+) -> RunResult:
+    """One-shot convenience wrapper around :class:`TraversalPipeline`."""
+    pipeline = TraversalPipeline(graph, scheduler, device)
+    return pipeline.run(app, source)

@@ -1,0 +1,81 @@
+"""Resident tiles and work stealing (paper Section 5.2, Algorithm 3).
+
+Tiled partitions computed during expansion are kept in device memory as
+*resident tiles* — scheduling logs reusable whenever the same node is
+visited again, so the dynamic arrangement is paid once per node.  Being
+in device memory also makes the tiles visible to every SM: any
+cooperative group of the right size may consume any tile (*Resident Tile
+Stealing*), which removes inter-SM load imbalance and raises the number
+of independent work units in flight.
+
+The store tracks which nodes currently have resident tiles and the
+device-memory footprint; the decomposition itself is shared with
+:mod:`repro.core.tiling`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+
+#: bytes per stored tile record: (node, global offset, size) packed.
+TILE_RECORD_BYTES = 12
+
+
+class ResidentTileStore:
+    """Device-global store of expanded tiled partitions."""
+
+    def __init__(self, graph: CSRGraph) -> None:
+        self._resident = np.zeros(graph.num_nodes, dtype=bool)
+        self.reuse_hits = 0
+        self.expansions = 0
+        self.stored_tiles = 0
+
+    def visit(
+        self, frontier: np.ndarray, tiles_per_node: np.ndarray
+    ) -> tuple[int, int, int]:
+        """Record one frontier visit.
+
+        Args:
+            frontier: active node ids.
+            tiles_per_node: number of tiles (including fragments) each
+                frontier node decomposes into, frontier order.
+
+        Returns:
+            ``(reused_nodes, new_nodes, new_tiles)`` — reused nodes cost
+            nothing to schedule; new nodes pay the tile-store write.
+        """
+        is_resident = self._resident[frontier]
+        reused = int(is_resident.sum())
+        new_nodes = int(frontier.size - reused)
+        new_tiles = int(tiles_per_node[~is_resident].sum())
+        self._resident[frontier] = True
+        self.reuse_hits += reused
+        self.expansions += new_nodes
+        self.stored_tiles += new_tiles
+        return reused, new_nodes, new_tiles
+
+    @property
+    def footprint_bytes(self) -> int:
+        """Device memory consumed by the resident tile structure."""
+        return self.stored_tiles * TILE_RECORD_BYTES
+
+    @property
+    def reuse_rate(self) -> float:
+        """Fraction of node visits served from resident tiles."""
+        total = self.reuse_hits + self.expansions
+        return self.reuse_hits / total if total else 0.0
+
+    def invalidate_all(self) -> None:
+        """Drop every resident tile (after reordering or graph updates).
+
+        Reordering rewrites the CSR, so stored (offset, size) records no
+        longer point at valid adjacency slices; the next visit re-expands.
+        """
+        self._resident[:] = False
+        self.stored_tiles = 0
+
+    def invalidate_nodes(self, nodes: np.ndarray) -> None:
+        """Drop resident tiles of specific nodes (targeted graph updates)."""
+        self._resident[nodes] = False

@@ -1,0 +1,152 @@
+"""Tile Access Sampling (paper Section 6, Algorithm 4).
+
+During the filtering step each cooperative tile holds the neighbor ids it
+is about to access in shared memory; counting how many intra-tile
+neighbors share a memory sector is a cheap, in-kernel measurement of
+locality.  This module implements that measurement vectorized: an
+observation batch is the concatenated neighbor array of one iteration
+plus the tile segment boundaries, and the sampler accumulates
+
+* per-node *locality* counts (Stage 1's measure): for node ``u`` in a
+  tile, the number of other tile members in ``u``'s sector, and
+* a bounded sample of *co-access pairs* ``(u, co_member)`` feeding the
+  Stage 2 binary search and the Stage 3 validation.
+
+Pair collection bounds work per tile (at most ``co_samples`` co-members
+per element, from a ``tile_sample_rate`` fraction of tiles) — the
+"sampling" that keeps the paper's technique lightweight.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+class TileAccessSampler:
+    """Accumulates locality statistics from sampled tile accesses."""
+
+    def __init__(
+        self,
+        num_nodes: int,
+        sector_width: int,
+        *,
+        co_samples: int = 4,
+        tile_sample_rate: float = 0.5,
+        seed: int = 0,
+    ) -> None:
+        if num_nodes < 1 or sector_width < 1:
+            raise InvalidParameterError("num_nodes and sector_width must be >= 1")
+        if co_samples < 1 or not 0 < tile_sample_rate <= 1:
+            raise InvalidParameterError(
+                "co_samples >= 1 and 0 < tile_sample_rate <= 1 required"
+            )
+        self.num_nodes = num_nodes
+        self.sector_width = sector_width
+        self.co_samples = co_samples
+        self.tile_sample_rate = tile_sample_rate
+        self._rng = np.random.default_rng(seed)
+        self.observed_edges = 0
+        self.sampled_tiles = 0
+        self._pair_u: list[np.ndarray] = []
+        self._pair_co: list[np.ndarray] = []
+
+    def observe(self, edge_dst: np.ndarray, segment_starts: np.ndarray) -> None:
+        """Record one iteration's tile accesses.
+
+        Args:
+            edge_dst: concatenated neighbor ids of the iteration.
+            segment_starts: sorted tile segment starts partitioning
+                ``edge_dst`` (from
+                :meth:`~repro.core.tiling.TileDecomposition.segment_starts`).
+        """
+        edge_dst = np.asarray(edge_dst, dtype=np.int64)
+        self.observed_edges += int(edge_dst.size)
+        if edge_dst.size == 0 or segment_starts.size == 0:
+            return
+        starts = np.asarray(segment_starts, dtype=np.int64)
+        bounds = np.append(starts, edge_dst.size)
+        lengths = np.diff(bounds)
+        keep = (lengths > 1) & (self._rng.random(starts.size) < self.tile_sample_rate)
+        if not keep.any():
+            return
+        starts = starts[keep]
+        lengths = lengths[keep]
+        self.sampled_tiles += int(starts.size)
+
+        # For every element of every kept tile, pair it with up to
+        # ``co_samples`` rotated co-members of the same tile.  Rotation by
+        # k in [1, len) never pairs an element with itself.
+        n_pairs_per_elem = np.minimum(self.co_samples, lengths - 1)
+        for k in range(1, self.co_samples + 1):
+            has_k = lengths - 1 >= k
+            if not has_k.any():
+                break
+            s = starts[has_k]
+            ln = lengths[has_k]
+            total = int(ln.sum())
+            within = (
+                np.arange(total, dtype=np.int64)
+                - np.repeat(np.cumsum(ln) - ln, ln)
+            )
+            base = np.repeat(s, ln)
+            u = edge_dst[base + within]
+            co = edge_dst[base + (within + k) % np.repeat(ln, ln)]
+            self._pair_u.append(u)
+            self._pair_co.append(co)
+        del n_pairs_per_elem
+
+    def pairs(self) -> tuple[np.ndarray, np.ndarray]:
+        """All collected (member, co-member) pairs."""
+        if not self._pair_u:
+            empty = np.empty(0, dtype=np.int64)
+            return empty, empty
+        return np.concatenate(self._pair_u), np.concatenate(self._pair_co)
+
+    def locality_counts(self) -> np.ndarray:
+        """Stage-1 locality per node: sampled same-sector co-accesses."""
+        u, co = self.pairs()
+        locality = np.zeros(self.num_nodes, dtype=np.int64)
+        if u.size:
+            same = (u // self.sector_width) == (co // self.sector_width)
+            np.add.at(locality, u[same], 1)
+        return locality
+
+    def reset(self) -> None:
+        """Clear all accumulated samples (start of a new round)."""
+        self.observed_edges = 0
+        self.sampled_tiles = 0
+        self._pair_u.clear()
+        self._pair_co.clear()
+
+
+def exact_locality_counts(
+    edge_dst: np.ndarray,
+    segment_starts: np.ndarray,
+    num_nodes: int,
+    sector_width: int,
+) -> np.ndarray:
+    """Exact (non-sampled) Algorithm-4 locality counts, for tests.
+
+    For every tile and every member ``u``, adds the number of other tile
+    members in ``u``'s sector.
+    """
+    edge_dst = np.asarray(edge_dst, dtype=np.int64)
+    locality = np.zeros(num_nodes, dtype=np.int64)
+    if edge_dst.size == 0:
+        return locality
+    starts = np.asarray(segment_starts, dtype=np.int64)
+    lengths = np.diff(np.append(starts, edge_dst.size))
+    seg_of = np.repeat(np.arange(starts.size, dtype=np.int64), lengths)
+    sectors = edge_dst // sector_width
+    order = np.lexsort((sectors, seg_of))
+    s_sorted = sectors[order]
+    g_sorted = seg_of[order]
+    run_start = np.ones(edge_dst.size, dtype=bool)
+    run_start[1:] = (s_sorted[1:] != s_sorted[:-1]) | (g_sorted[1:] != g_sorted[:-1])
+    run_ids = np.cumsum(run_start) - 1
+    run_sizes = np.bincount(run_ids)
+    per_elem = run_sizes[run_ids] - 1
+    np.add.at(locality, edge_dst[order], per_elem)
+    return locality

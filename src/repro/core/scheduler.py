@@ -1,0 +1,151 @@
+"""Scheduler abstraction shared by SAGE and every baseline.
+
+A scheduler decides *how* the expanded edges of one iteration are mapped
+onto GPU thread groups.  It never changes the traversal's semantics —
+that is the application's job — it only reports the execution shape
+(:class:`~repro.gpusim.cost.KernelStats`) the cost model scores.  This
+mirrors the paper's setup: all compared approaches run the same
+node-centric pipeline and differ in load reallocation, work stealing and
+data layout.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.graph.csr import CSRGraph
+from repro.gpusim.cost import KernelStats
+from repro.gpusim.memory import coalesced_sectors, segmented_distinct_sectors
+from repro.gpusim.spec import GPUSpec
+
+#: Fraction of duplicate-address atomic updates that serialize, for
+#: atomic-aggregation apps (BC/PR, Section 7.2).
+ATOMIC_CONFLICT_RATE = 0.004
+
+
+@dataclass(frozen=True)
+class ReorderCommit:
+    """A permutation a self-adaptive scheduler wants applied.
+
+    Attributes:
+        perm: bijection, ``new_id = perm[old_id]``.
+        update_stats: kernel stats charging the graph-representation
+            update (the bb_segsort-style index replacement, Section 6).
+    """
+
+    perm: np.ndarray
+    update_stats: KernelStats
+
+
+class Scheduler(ABC):
+    """Maps one iteration's expanded edges onto simulated hardware."""
+
+    name: str = "scheduler"
+
+    def __init__(self, spec: GPUSpec | None = None) -> None:
+        self.spec = spec or GPUSpec()
+
+    def reset(self, graph: CSRGraph) -> None:
+        """Called once before a run; clears any per-run state."""
+
+    @abstractmethod
+    def kernel_stats(
+        self,
+        frontier: np.ndarray,
+        degrees: np.ndarray,
+        edge_dst: np.ndarray,
+        graph: CSRGraph,
+        app: App,
+    ) -> KernelStats:
+        """Score one expansion+filtering kernel.
+
+        Args:
+            frontier: active nodes of this iteration.
+            degrees: their out-degrees (frontier order).
+            edge_dst: concatenated neighbor ids, frontier order (each
+                node's slice sorted ascending — the CSR invariant).
+            graph: the current graph.
+            app: the running application (atomicity, access factor).
+        """
+
+    def post_level(self, graph: CSRGraph) -> ReorderCommit | None:
+        """Give self-adaptive schedulers a chance to commit a reordering."""
+        return None
+
+    def notify_reordered(self, perm: np.ndarray) -> None:
+        """Called after the pipeline applies a :class:`ReorderCommit`."""
+
+
+def value_sector_accounting(
+    edge_dst: np.ndarray,
+    segment_starts: np.ndarray,
+    spec: GPUSpec,
+    *,
+    presorted: bool,
+    access_factor: float = 1.0,
+) -> tuple[int, int]:
+    """Scattered value-array transactions of one kernel.
+
+    Each segment is one concurrent tile access; its cost is the number of
+    distinct sectors among its neighbor ids (paper Section 6's objective).
+
+    Returns:
+        ``(touches, unique)`` — per-tile distinct sectors summed, and the
+        kernel-wide distinct sector count, both scaled by the app's
+        access factor (how many attribute arrays the filter touches).
+    """
+    if edge_dst.size == 0:
+        return 0, 0
+    per_segment = segmented_distinct_sectors(
+        edge_dst, segment_starts, spec.sector_width, presorted=presorted
+    )
+    touches = int(per_segment.sum())
+    unique = int(np.unique(edge_dst // spec.sector_width).size)
+    touches = int(round(touches * access_factor))
+    unique = min(touches, int(round(unique * access_factor)))
+    return touches, unique
+
+
+def csr_gather_sectors(
+    segment_sizes: np.ndarray, spec: GPUSpec, *, aligned: bool
+) -> int:
+    """Coalesced CSR adjacency-read transactions for all segments."""
+    if len(segment_sizes) == 0:
+        return 0
+    return int(coalesced_sectors(segment_sizes, spec.sector_width,
+                                 aligned=aligned).sum())
+
+
+def atomic_conflicts_for(
+    app: App, edge_dst: np.ndarray, sector_width: int
+) -> float:
+    """Serialized atomic collisions for atomic-aggregation filters.
+
+    Conflicts come from concurrent updates to the *same address*
+    (duplicate targets within the batch) and worsen when hot nodes share
+    cache sectors (line ping-pong between SMs) — improved locality
+    therefore *raises* this term, the paper's "double-edged sword"
+    (Section 7.2), even though it lowers load traffic.
+    """
+    if not app.uses_atomics or edge_dst.size == 0:
+        return 0.0
+    unique_addresses = int(np.unique(edge_dst).size)
+    duplicates = int(edge_dst.size) - unique_addresses
+    unique_sectors = int(np.unique(edge_dst // sector_width).size)
+    density = unique_addresses / max(1, unique_sectors * sector_width)
+    return ATOMIC_CONFLICT_RATE * duplicates * (1.0 + min(1.0, density))
+
+
+def warp_chunk_starts(total_edges: int, warp_size: int) -> np.ndarray:
+    """Segment starts chopping ``total_edges`` into warp-sized chunks.
+
+    Models scan-based gathering: consecutive expanded edges (ignoring
+    node boundaries) are packed 32 to a warp.
+    """
+    if total_edges == 0:
+        return np.zeros(0, dtype=np.int64)
+    return np.arange(0, total_edges, warp_size, dtype=np.int64)

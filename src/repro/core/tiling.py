@@ -1,0 +1,198 @@
+"""Tiled Partitioning (paper Section 5.1, Algorithm 2).
+
+A frontier node's adjacency work is consumed by cooperative-group tiles
+whose sizes shrink from the block size down to ``MIN_TILE_SIZE`` by
+binary partition.  A node with ``n`` neighbors is consumed as:
+
+* ``n // B`` tiles of size ``B`` (the whole block, elected leader),
+* then one tile of size ``s`` for every set bit of ``n mod B`` at
+  ``s = B/2, B/4, ..., MIN_TILE_SIZE``,
+* plus a *fragment* of ``n mod MIN_TILE_SIZE`` edges handled by
+  fine-grained scan-based gathering (paper line 32, after [30]).
+
+This module computes that decomposition for a whole frontier at once,
+fully vectorized, in frontier coordinates (tiles refer to positions in
+the concatenated expanded edge array).  Both the SAGE engine and the
+Resident Tile store are built on it.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+#: Default smallest cooperative tile (the paper's MIN_TILE_SIZE).
+DEFAULT_MIN_TILE = 8
+
+
+def tile_size_levels(block_size: int, min_tile: int) -> list[int]:
+    """Descending powers of two from ``block_size`` to ``min_tile``."""
+    if block_size < min_tile:
+        raise InvalidParameterError("block_size must be >= min_tile")
+    for value, label in ((block_size, "block_size"), (min_tile, "min_tile")):
+        if value < 1 or value & (value - 1):
+            raise InvalidParameterError(f"{label} must be a power of two")
+    sizes = []
+    s = block_size
+    while s >= min_tile:
+        sizes.append(s)
+        s //= 2
+    return sizes
+
+
+@dataclass(frozen=True)
+class TileDecomposition:
+    """Tiles + fragments covering every expanded edge exactly once.
+
+    All `*_frontier_idx` arrays index into the frontier that produced the
+    decomposition; `*_local_offset` is the position within that node's
+    adjacency list where the tile/fragment begins.
+    """
+
+    tile_frontier_idx: np.ndarray
+    tile_sizes: np.ndarray
+    tile_local_offsets: np.ndarray
+    fragment_frontier_idx: np.ndarray
+    fragment_sizes: np.ndarray
+    fragment_local_offsets: np.ndarray
+    elections: int
+    levels: int
+    block_size: int
+    min_tile: int
+
+    @property
+    def num_tiles(self) -> int:
+        return int(self.tile_sizes.size)
+
+    @property
+    def tiled_edges(self) -> int:
+        return int(self.tile_sizes.sum())
+
+    @property
+    def fragment_edges(self) -> int:
+        return int(self.fragment_sizes.sum())
+
+    def segment_starts(self, cum_degrees: np.ndarray) -> np.ndarray:
+        """Sorted start offsets of every tile and fragment.
+
+        Args:
+            cum_degrees: exclusive prefix sum of the frontier's degrees
+                (``cum_degrees[i]`` = where node ``i``'s adjacency begins
+                in the expanded edge array).
+
+        Returns:
+            Sorted int64 array of segment starts that partitions the
+            expanded edge array into tile/fragment segments — the access
+            batches whose distinct-sector counts the memory model needs.
+        """
+        tile_starts = cum_degrees[self.tile_frontier_idx] + self.tile_local_offsets
+        frag_starts = (
+            cum_degrees[self.fragment_frontier_idx] + self.fragment_local_offsets
+        )
+        starts = np.concatenate([tile_starts, frag_starts])
+        starts.sort(kind="stable")
+        return starts
+
+
+def decompose_frontier(
+    degrees: np.ndarray,
+    block_size: int,
+    min_tile: int = DEFAULT_MIN_TILE,
+) -> TileDecomposition:
+    """Run Tiled Partitioning over a frontier's degree array.
+
+    Args:
+        degrees: out-degree of each frontier node, in frontier order.
+        block_size: threads per block (largest tile).
+        min_tile: the paper's MIN_TILE_SIZE.
+
+    Returns:
+        The full :class:`TileDecomposition`.
+
+    Election accounting follows Algorithm 2: one election per
+    (node, tile-size level) at which the node has work — at the block
+    level a node with ``k`` block-tiles still elects once and the tile
+    then loops ``k`` rounds.
+    """
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size and degrees.min() < 0:
+        raise InvalidParameterError("degrees must be non-negative")
+    sizes = tile_size_levels(block_size, min_tile)
+
+    idx_chunks: list[np.ndarray] = []
+    size_chunks: list[np.ndarray] = []
+    offset_chunks: list[np.ndarray] = []
+    elections = 0
+
+    remaining = degrees.copy()
+    consumed = np.zeros_like(degrees)
+    all_idx = np.arange(degrees.size, dtype=np.int64)
+    for s in sizes:
+        counts = remaining // s
+        active = counts > 0
+        elections += int(active.sum())
+        n_active = int(counts[active].sum())
+        if n_active:
+            # node i contributes counts[i] tiles at offsets
+            # consumed[i], consumed[i] + s, ...
+            reps = counts[active]
+            nodes = np.repeat(all_idx[active], reps)
+            base = np.repeat(consumed[active], reps)
+            cum = np.repeat(np.cumsum(reps) - reps, reps)
+            within = (np.arange(nodes.size, dtype=np.int64) - cum) * s
+            idx_chunks.append(nodes)
+            size_chunks.append(np.full(nodes.size, s, dtype=np.int64))
+            offset_chunks.append(base + within)
+        consumed += counts * s
+        remaining -= counts * s
+
+    frag_active = remaining > 0
+    frag_idx = all_idx[frag_active]
+    frag_sizes = remaining[frag_active]
+    frag_offsets = consumed[frag_active]
+
+    if idx_chunks:
+        tile_idx = np.concatenate(idx_chunks)
+        tile_sizes = np.concatenate(size_chunks)
+        tile_offsets = np.concatenate(offset_chunks)
+    else:
+        tile_idx = np.empty(0, dtype=np.int64)
+        tile_sizes = np.empty(0, dtype=np.int64)
+        tile_offsets = np.empty(0, dtype=np.int64)
+
+    return TileDecomposition(
+        tile_frontier_idx=tile_idx,
+        tile_sizes=tile_sizes,
+        tile_local_offsets=tile_offsets,
+        fragment_frontier_idx=frag_idx,
+        fragment_sizes=frag_sizes,
+        fragment_local_offsets=frag_offsets,
+        elections=elections,
+        levels=len(sizes),
+        block_size=block_size,
+        min_tile=min_tile,
+    )
+
+
+def decompose_degree(
+    degree: int, block_size: int, min_tile: int = DEFAULT_MIN_TILE
+) -> list[tuple[int, int]]:
+    """Decompose one degree into ``(offset, tile_size)`` pairs + fragment.
+
+    Reference implementation used by tests; the fragment (if any) is the
+    final pair with size < ``min_tile``.
+    """
+    out: list[tuple[int, int]] = []
+    offset = 0
+    remaining = int(degree)
+    for s in tile_size_levels(block_size, min_tile):
+        while remaining >= s:
+            out.append((offset, s))
+            offset += s
+            remaining -= s
+    if remaining:
+        out.append((offset, remaining))
+    return out

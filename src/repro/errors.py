@@ -1,0 +1,36 @@
+"""Exception hierarchy for the repro package.
+
+All errors raised by this library derive from :class:`ReproError` so that
+callers can catch library failures with a single ``except`` clause while
+still letting programming errors (``TypeError`` and friends) propagate.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class GraphFormatError(ReproError):
+    """A graph representation is malformed or inconsistent.
+
+    Raised when CSR/COO invariants are violated: offsets not monotone,
+    edge endpoints out of range, array length mismatches, and so on.
+    """
+
+
+class InvalidParameterError(ReproError, ValueError):
+    """A user-supplied parameter is outside its valid domain."""
+
+
+class SchedulingError(ReproError):
+    """A scheduler produced an inconsistent execution plan."""
+
+
+class SimulationError(ReproError):
+    """The hardware simulator was driven into an invalid state."""
+
+
+class ConvergenceError(ReproError):
+    """An iterative computation failed to converge within its budget."""

@@ -1,0 +1,54 @@
+"""Functional + analytic GPU execution simulator (the hardware substrate)."""
+
+from repro.gpusim.cost import (
+    KernelCostModel,
+    KernelStats,
+    KernelTiming,
+    block_placement,
+    even_placement,
+)
+from repro.gpusim.device import Device
+from repro.gpusim.events import (
+    MakespanReport,
+    MakespanSimulator,
+    Task,
+    tasks_from_decomposition,
+)
+from repro.gpusim.memory import (
+    LRUCacheModel,
+    coalesced_sectors,
+    distinct_sectors,
+    estimate_dram_sectors,
+    sector_ids,
+    segmented_distinct_sectors,
+)
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.spec import NVLINK2, PCIE3_X16, CPUSpec, GPUSpec, LinkSpec
+from repro.gpusim.trace import CacheTraceReport, replay_cache_trace
+
+__all__ = [
+    "CPUSpec",
+    "CacheTraceReport",
+    "Device",
+    "GPUSpec",
+    "KernelCostModel",
+    "KernelStats",
+    "KernelTiming",
+    "LinkSpec",
+    "MakespanReport",
+    "MakespanSimulator",
+    "Task",
+    "LRUCacheModel",
+    "NVLINK2",
+    "PCIE3_X16",
+    "Profiler",
+    "block_placement",
+    "coalesced_sectors",
+    "distinct_sectors",
+    "estimate_dram_sectors",
+    "even_placement",
+    "replay_cache_trace",
+    "sector_ids",
+    "segmented_distinct_sectors",
+    "tasks_from_decomposition",
+]

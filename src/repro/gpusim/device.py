@@ -1,0 +1,49 @@
+"""Simulated GPU device: executes kernels, accumulates time and counters."""
+
+from __future__ import annotations
+
+from repro.gpusim.cost import KernelCostModel, KernelStats, KernelTiming
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.spec import GPUSpec
+
+
+class Device:
+    """One simulated GPU.
+
+    Schedulers submit :class:`KernelStats` via :meth:`run_kernel`; the
+    device scores them with its cost model and keeps a running clock plus
+    a :class:`Profiler`.  Extra non-kernel time (host link transfers,
+    inter-GPU synchronization) is added with :meth:`add_seconds`.
+    """
+
+    def __init__(self, spec: GPUSpec | None = None) -> None:
+        self.spec = spec or GPUSpec()
+        self.cost_model = KernelCostModel(self.spec)
+        self.profiler = Profiler()
+        self.elapsed_seconds = 0.0
+
+    def run_kernel(self, stats: KernelStats) -> KernelTiming:
+        """Execute one kernel; advances the device clock."""
+        timing = self.cost_model.time_kernel(stats)
+        self.profiler.record(stats, timing)
+        self.elapsed_seconds += self.spec.cycles_to_seconds(timing.cycles)
+        return timing
+
+    def add_seconds(self, seconds: float) -> None:
+        """Advance the clock by non-kernel time (transfers, sync)."""
+        self.elapsed_seconds += seconds
+
+    def reset(self) -> None:
+        """Zero the clock and counters (spec is kept)."""
+        self.profiler = Profiler()
+        self.elapsed_seconds = 0.0
+
+    def fits_in_memory(self, num_bytes: int) -> bool:
+        """Whether a resident data structure fits in device DRAM."""
+        return num_bytes <= self.spec.device_memory_bytes
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Device({self.spec.name}, elapsed={self.elapsed_seconds * 1e3:.3f} ms, "
+            f"kernels={self.profiler.kernels})"
+        )

@@ -1,0 +1,175 @@
+"""Sector-granular memory access model.
+
+GPUs move data in fixed-size sectors (32 B; four per 128 B cache line,
+paper Section 2.1).  A cooperative tile reading ``m`` scattered node
+values therefore costs ``count(distinct(floor(id / sector_width)))``
+transactions — the exact quantity the Sampling-based Reordering objective
+minimizes (paper Section 6).
+
+This module provides vectorized distinct-sector counting over segmented
+access batches plus an LRU cache used both exactly (tests, profiling) and
+as a sampled estimator inside the cost model.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+
+
+def sector_ids(addresses: np.ndarray, sector_width: int) -> np.ndarray:
+    """Map element indices to sector ids."""
+    if sector_width < 1:
+        raise InvalidParameterError("sector_width must be >= 1")
+    return np.asarray(addresses, dtype=np.int64) // sector_width
+
+
+def distinct_sectors(addresses: np.ndarray, sector_width: int) -> int:
+    """Number of distinct sectors touched by one access batch."""
+    if len(addresses) == 0:
+        return 0
+    return int(np.unique(sector_ids(addresses, sector_width)).size)
+
+
+def segmented_distinct_sectors(
+    addresses: np.ndarray,
+    segment_starts: np.ndarray,
+    sector_width: int,
+    *,
+    presorted: bool = False,
+) -> np.ndarray:
+    """Distinct sector count per segment of a concatenated access array.
+
+    Args:
+        addresses: concatenated element indices of all segments.
+        segment_starts: start offset of each segment; segment ``i`` is
+            ``addresses[segment_starts[i]:segment_starts[i + 1]]`` with an
+            implicit final boundary at ``len(addresses)``.
+        sector_width: elements per sector.
+        presorted: set when every segment is individually sorted (true for
+            tiles cut from CSR adjacency slices) to skip the per-segment
+            sort.
+
+    Returns:
+        int64 array with one distinct-sector count per segment.
+
+    The whole computation is O(E) or O(E log E) vectorized: distinct count
+    per sorted segment is one plus the number of internal sector jumps.
+    """
+    addresses = np.asarray(addresses, dtype=np.int64)
+    starts = np.asarray(segment_starts, dtype=np.int64)
+    n_seg = starts.size
+    if n_seg == 0:
+        return np.zeros(0, dtype=np.int64)
+    bounds = np.append(starts, addresses.size)
+    lengths = np.diff(bounds)
+    if np.any(lengths < 0) or (starts.size and starts[0] != 0):
+        raise InvalidParameterError("segment_starts must be sorted from 0")
+    secs = sector_ids(addresses, sector_width)
+    if not presorted and addresses.size:
+        seg_of = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+        order = np.lexsort((secs, seg_of))
+        secs = secs[order]
+    counts = np.zeros(n_seg, dtype=np.int64)
+    if addresses.size == 0:
+        return counts
+    jumps = np.zeros(addresses.size, dtype=bool)
+    jumps[1:] = np.diff(secs) != 0
+    # First element of each non-empty segment opens a new sector; empty
+    # segments (start == end, possibly == len) have nothing to mark.
+    jumps[starts[starts < addresses.size]] = True
+    np.add.at(counts, np.repeat(np.arange(n_seg), lengths), jumps.astype(np.int64))
+    return counts
+
+
+def coalesced_sectors(
+    batch_sizes: np.ndarray,
+    sector_width: int,
+    *,
+    aligned: bool,
+) -> np.ndarray:
+    """Sectors consumed by contiguous (coalesced) reads per batch.
+
+    CSR adjacency reads by a tile are contiguous: a tile of ``s`` lanes
+    reads ``s`` consecutive array elements.  Aligned tiles (SAGE's tile
+    alignment, Section 5.3) touch ``ceil(s / w)`` sectors; unaligned reads
+    straddle one extra sector whenever ``s`` is not a multiple of ``w``'s
+    phase, modeled as a +1 for any batch not a multiple of the width.
+    """
+    sizes = np.asarray(batch_sizes, dtype=np.int64)
+    base = -(-sizes // sector_width)  # ceil division
+    if aligned:
+        return base
+    straddle = (sizes % sector_width != 0) | (sizes >= sector_width)
+    return base + straddle.astype(np.int64)
+
+
+class LRUCacheModel:
+    """Exact LRU cache over sector ids.
+
+    Used to measure hit rates of small traces exactly (tests and the
+    profiler) — the cost model uses :func:`estimate_dram_sectors` for
+    speed on large traces.
+    """
+
+    def __init__(self, capacity_sectors: int) -> None:
+        if capacity_sectors < 1:
+            raise InvalidParameterError("cache capacity must be >= 1")
+        self.capacity = capacity_sectors
+        self._entries: OrderedDict[int, None] = OrderedDict()
+        self.hits = 0
+        self.misses = 0
+
+    def access(self, sectors: np.ndarray | list[int]) -> int:
+        """Touch sectors in order; returns the number of misses added."""
+        misses = 0
+        entries = self._entries
+        for s in np.asarray(sectors, dtype=np.int64).tolist():
+            if s in entries:
+                entries.move_to_end(s)
+                self.hits += 1
+            else:
+                entries[s] = None
+                self.misses += 1
+                misses += 1
+                if len(entries) > self.capacity:
+                    entries.popitem(last=False)
+        return misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self._entries.clear()
+        self.hits = 0
+        self.misses = 0
+
+
+def estimate_dram_sectors(
+    touches: int,
+    unique: int,
+    capacity_sectors: int,
+) -> float:
+    """Estimate DRAM sector transactions behind an L2 of given capacity.
+
+    A kernel touches ``touches`` sectors of which ``unique`` are distinct.
+    Cold misses cost ``unique``.  Repeat touches hit if the working set
+    fits in L2, and degrade linearly with the overflow ratio otherwise:
+
+        dram = unique + (touches - unique) * max(0, 1 - capacity / unique)
+
+    Monotone in both arguments and exact at the fits-entirely and
+    no-reuse extremes, which is all the comparisons need.
+    """
+    if touches < unique or unique < 0:
+        raise InvalidParameterError("need touches >= unique >= 0")
+    if unique == 0:
+        return 0.0
+    repeat = touches - unique
+    overflow = max(0.0, 1.0 - capacity_sectors / unique)
+    return unique + repeat * overflow

@@ -1,0 +1,111 @@
+"""Execution counters — the stand-in for NVIDIA Nsight Compute.
+
+The paper profiles kernels with Nsight (Section 7.1); here every kernel's
+stats and timing are accumulated into a :class:`Profiler` so experiments
+can report lane efficiency, DRAM traffic, scheduling overhead share
+(Table 3) and memory/compute boundedness.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.gpusim.cost import KernelStats, KernelTiming
+
+
+@dataclass
+class Profiler:
+    """Accumulated counters over a run."""
+
+    kernels: int = 0
+    total_cycles: float = 0.0
+    compute_cycles: float = 0.0
+    memory_cycles: float = 0.0
+    overhead_cycles: float = 0.0
+    launch_cycles: float = 0.0
+    active_edges: int = 0
+    issued_lane_cycles: int = 0
+    value_sector_touches: int = 0
+    csr_sector_touches: int = 0
+    dram_bytes: float = 0.0
+    atomic_conflicts: float = 0.0
+    memory_bound_kernels: int = 0
+    events: dict[str, float] = field(default_factory=dict)
+
+    def record(self, stats: KernelStats, timing: KernelTiming) -> None:
+        """Fold one kernel's stats and timing into the counters."""
+        self.kernels += 1
+        self.total_cycles += timing.cycles
+        self.compute_cycles += timing.compute_cycles
+        self.memory_cycles += timing.memory_cycles
+        self.overhead_cycles += timing.overhead_cycles
+        self.launch_cycles += timing.launch_cycles
+        self.active_edges += stats.active_edges
+        self.issued_lane_cycles += stats.issued_lane_cycles
+        self.value_sector_touches += stats.value_sector_touches
+        self.csr_sector_touches += stats.csr_sector_touches
+        self.dram_bytes += timing.dram_bytes
+        self.atomic_conflicts += stats.atomic_conflicts
+        if timing.bound == "memory":
+            self.memory_bound_kernels += 1
+
+    def count_event(self, name: str, amount: float = 1.0) -> None:
+        """Accumulate a named free-form counter (e.g. tile-store reuses)."""
+        self.events[name] = self.events.get(name, 0.0) + amount
+
+    @property
+    def lane_efficiency(self) -> float:
+        """Aggregate active / issued lanes (1.0 = divergence-free)."""
+        if self.issued_lane_cycles == 0:
+            return 1.0
+        return self.active_edges / self.issued_lane_cycles
+
+    @property
+    def overhead_fraction(self) -> float:
+        """Share of runtime spent on scheduling overhead (Table 3)."""
+        if self.total_cycles == 0:
+            return 0.0
+        return self.overhead_cycles / self.total_cycles
+
+    def summary(self) -> dict[str, float]:
+        """Headline counters as a flat dict (for reports and the CLI)."""
+        return {
+            "kernels": float(self.kernels),
+            "total_cycles": self.total_cycles,
+            "lane_efficiency": self.lane_efficiency,
+            "overhead_fraction": self.overhead_fraction,
+            "dram_mb": self.dram_bytes / 1e6,
+            "memory_bound_share": (
+                self.memory_bound_kernels / self.kernels
+                if self.kernels else 0.0
+            ),
+            "atomic_conflicts": self.atomic_conflicts,
+        }
+
+    def format_summary(self) -> str:
+        """Human-readable multi-line summary."""
+        s = self.summary()
+        return "\n".join([
+            f"kernels            {int(s['kernels']):10d}",
+            f"lane efficiency    {s['lane_efficiency']:10.3f}",
+            f"scheduling share   {100 * s['overhead_fraction']:9.1f} %",
+            f"DRAM traffic       {s['dram_mb']:10.2f} MB",
+            f"memory-bound share {100 * s['memory_bound_share']:9.1f} %",
+            f"atomic conflicts   {s['atomic_conflicts']:10.0f}",
+        ])
+
+    def merged_with(self, other: "Profiler") -> "Profiler":
+        """Return a new profiler summing both operands' counters."""
+        out = Profiler()
+        for name in (
+            "kernels", "total_cycles", "compute_cycles", "memory_cycles",
+            "overhead_cycles", "launch_cycles", "active_edges",
+            "issued_lane_cycles", "value_sector_touches",
+            "csr_sector_touches", "dram_bytes", "atomic_conflicts",
+            "memory_bound_kernels",
+        ):
+            setattr(out, name, getattr(self, name) + getattr(other, name))
+        out.events = dict(self.events)
+        for key, val in other.events.items():
+            out.events[key] = out.events.get(key, 0.0) + val
+        return out

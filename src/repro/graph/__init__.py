@@ -1,0 +1,44 @@
+"""Graph representations, generators, datasets and IO."""
+
+from repro.graph.builders import (
+    from_networkx,
+    from_scipy_sparse,
+    induced_subgraph,
+    largest_weakly_connected_component,
+    to_networkx,
+    to_scipy_sparse,
+)
+from repro.graph.compressed import CompressedCSRGraph
+from repro.graph.coo import COOGraph
+from repro.graph.csr import CSRGraph
+from repro.graph.datasets import Dataset, by_name, full_suite, small_suite
+from repro.graph.dynamic import DynamicGraph
+from repro.graph.properties import (
+    DegreeStats,
+    degree_stats,
+    gini_coefficient,
+    id_locality,
+    sector_span,
+)
+
+__all__ = [
+    "COOGraph",
+    "CompressedCSRGraph",
+    "CSRGraph",
+    "Dataset",
+    "DegreeStats",
+    "DynamicGraph",
+    "by_name",
+    "degree_stats",
+    "from_networkx",
+    "from_scipy_sparse",
+    "full_suite",
+    "gini_coefficient",
+    "id_locality",
+    "induced_subgraph",
+    "largest_weakly_connected_component",
+    "sector_span",
+    "small_suite",
+    "to_networkx",
+    "to_scipy_sparse",
+]

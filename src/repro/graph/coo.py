@@ -1,0 +1,99 @@
+"""Coordinate (COO) edge-list representation.
+
+The paper (Section 2.2, Figure 1) introduces graphs as a sorted edge list
+held in two parallel arrays ``u`` and ``v``.  :class:`COOGraph` is exactly
+that: the universal interchange format every generator produces and from
+which :class:`~repro.graph.csr.CSRGraph` is built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+
+EDGE_DTYPE = np.int64
+
+
+@dataclass(frozen=True)
+class COOGraph:
+    """A directed graph as parallel source/target arrays.
+
+    Attributes:
+        num_nodes: number of nodes; node ids are ``0 .. num_nodes - 1``.
+        src: 1-D array of edge sources.
+        dst: 1-D array of edge targets, same length as ``src``.
+    """
+
+    num_nodes: int
+    src: np.ndarray
+    dst: np.ndarray
+
+    def __post_init__(self) -> None:
+        src = np.ascontiguousarray(self.src, dtype=EDGE_DTYPE)
+        dst = np.ascontiguousarray(self.dst, dtype=EDGE_DTYPE)
+        object.__setattr__(self, "src", src)
+        object.__setattr__(self, "dst", dst)
+        if self.num_nodes < 0:
+            raise GraphFormatError("num_nodes must be non-negative")
+        if src.ndim != 1 or dst.ndim != 1:
+            raise GraphFormatError("src and dst must be 1-D arrays")
+        if src.shape != dst.shape:
+            raise GraphFormatError(
+                f"src/dst length mismatch: {src.shape} vs {dst.shape}"
+            )
+        if src.size:
+            lo = min(src.min(), dst.min())
+            hi = max(src.max(), dst.max())
+            if lo < 0 or hi >= self.num_nodes:
+                raise GraphFormatError(
+                    f"edge endpoint out of range [0, {self.num_nodes}): "
+                    f"saw [{lo}, {hi}]"
+                )
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.src.size)
+
+    def sorted(self) -> "COOGraph":
+        """Return a copy with edges sorted by (src, dst)."""
+        order = np.lexsort((self.dst, self.src))
+        return COOGraph(self.num_nodes, self.src[order], self.dst[order])
+
+    def deduplicated(self) -> "COOGraph":
+        """Return a sorted copy with duplicate edges removed."""
+        g = self.sorted()
+        if g.num_edges == 0:
+            return g
+        keep = np.ones(g.num_edges, dtype=bool)
+        keep[1:] = (np.diff(g.src) != 0) | (np.diff(g.dst) != 0)
+        return COOGraph(g.num_nodes, g.src[keep], g.dst[keep])
+
+    def without_self_loops(self) -> "COOGraph":
+        """Return a copy with self loops removed."""
+        keep = self.src != self.dst
+        return COOGraph(self.num_nodes, self.src[keep], self.dst[keep])
+
+    def symmetrized(self) -> "COOGraph":
+        """Return the undirected closure: both (u, v) and (v, u) present."""
+        src = np.concatenate([self.src, self.dst])
+        dst = np.concatenate([self.dst, self.src])
+        return COOGraph(self.num_nodes, src, dst).deduplicated()
+
+    def reversed(self) -> "COOGraph":
+        """Return the transpose graph (every edge flipped)."""
+        return COOGraph(self.num_nodes, self.dst.copy(), self.src.copy())
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree of every node as an int64 array."""
+        return np.bincount(self.src, minlength=self.num_nodes).astype(EDGE_DTYPE)
+
+    def in_degrees(self) -> np.ndarray:
+        """In-degree of every node as an int64 array."""
+        return np.bincount(self.dst, minlength=self.num_nodes).astype(EDGE_DTYPE)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"COOGraph(|V|={self.num_nodes}, |E|={self.num_edges})"

@@ -1,0 +1,219 @@
+"""Compressed Sparse Row (CSR) graph representation.
+
+CSR is the "ubiquitous" input representation SAGE starts from (paper
+Section 1): an ``offsets`` array (the paper's ``u_offset``) of length
+``num_nodes + 1`` and a ``targets`` array (the paper's ``v``) holding the
+concatenated, per-node-sorted adjacency lists.
+
+No preprocessing beyond CSR construction is required by SAGE; every
+scheduler and application in this library consumes :class:`CSRGraph`
+directly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.coo import COOGraph, EDGE_DTYPE
+
+
+@dataclass(frozen=True)
+class CSRGraph:
+    """A directed graph in CSR form.
+
+    Attributes:
+        num_nodes: node count; ids are ``0 .. num_nodes - 1``.
+        offsets: int64 array of length ``num_nodes + 1``; the adjacency of
+            node ``u`` is ``targets[offsets[u]:offsets[u + 1]]``.
+        targets: int64 array of length ``num_edges``; each per-node slice
+            is sorted ascending (construction guarantees this).
+    """
+
+    num_nodes: int
+    offsets: np.ndarray
+    targets: np.ndarray
+
+    def __post_init__(self) -> None:
+        offsets = np.ascontiguousarray(self.offsets, dtype=EDGE_DTYPE)
+        targets = np.ascontiguousarray(self.targets, dtype=EDGE_DTYPE)
+        object.__setattr__(self, "offsets", offsets)
+        object.__setattr__(self, "targets", targets)
+        if offsets.ndim != 1 or offsets.size != self.num_nodes + 1:
+            raise GraphFormatError(
+                f"offsets must have length num_nodes + 1 = {self.num_nodes + 1}, "
+                f"got {offsets.size}"
+            )
+        if offsets.size and offsets[0] != 0:
+            raise GraphFormatError("offsets[0] must be 0")
+        if np.any(np.diff(offsets) < 0):
+            raise GraphFormatError("offsets must be non-decreasing")
+        if offsets.size and offsets[-1] != targets.size:
+            raise GraphFormatError(
+                f"offsets[-1] ({offsets[-1]}) must equal len(targets) "
+                f"({targets.size})"
+            )
+        if targets.size:
+            lo, hi = targets.min(), targets.max()
+            if lo < 0 or hi >= self.num_nodes:
+                raise GraphFormatError(
+                    f"target out of range [0, {self.num_nodes}): [{lo}, {hi}]"
+                )
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+
+    @classmethod
+    def from_coo(cls, coo: COOGraph) -> "CSRGraph":
+        """Build a CSR graph from a COO edge list (sorted internally)."""
+        g = coo.sorted()
+        counts = np.bincount(g.src, minlength=g.num_nodes)
+        offsets = np.zeros(g.num_nodes + 1, dtype=EDGE_DTYPE)
+        np.cumsum(counts, out=offsets[1:])
+        return cls(g.num_nodes, offsets, g.dst)
+
+    @classmethod
+    def from_edges(
+        cls,
+        num_nodes: int,
+        src: np.ndarray,
+        dst: np.ndarray,
+        *,
+        dedup: bool = False,
+        drop_self_loops: bool = False,
+        symmetric: bool = False,
+    ) -> "CSRGraph":
+        """Build a CSR graph from parallel edge arrays.
+
+        Args:
+            num_nodes: node count.
+            src: edge sources.
+            dst: edge targets.
+            dedup: remove duplicate edges.
+            drop_self_loops: remove ``u -> u`` edges.
+            symmetric: add the reverse of every edge (implies dedup).
+        """
+        coo = COOGraph(num_nodes, np.asarray(src), np.asarray(dst))
+        if drop_self_loops:
+            coo = coo.without_self_loops()
+        if symmetric:
+            coo = coo.symmetrized()
+        elif dedup:
+            coo = coo.deduplicated()
+        return cls.from_coo(coo)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+
+    @property
+    def num_edges(self) -> int:
+        """Number of directed edges."""
+        return int(self.targets.size)
+
+    def out_degrees(self) -> np.ndarray:
+        """Out-degree array (``|OutDeg(u)|`` for all ``u``)."""
+        return np.diff(self.offsets)
+
+    def out_degree(self, node: int) -> int:
+        """Out-degree of one node."""
+        return int(self.offsets[node + 1] - self.offsets[node])
+
+    def neighbors(self, node: int) -> np.ndarray:
+        """Adjacency slice of ``node`` (a view, sorted ascending)."""
+        return self.targets[self.offsets[node]:self.offsets[node + 1]]
+
+    def has_edge(self, u: int, v: int) -> bool:
+        """Whether edge ``u -> v`` exists (binary search)."""
+        adj = self.neighbors(u)
+        i = np.searchsorted(adj, v)
+        return bool(i < adj.size and adj[i] == v)
+
+    def to_coo(self) -> COOGraph:
+        """Expand back to a (sorted) COO edge list."""
+        src = np.repeat(np.arange(self.num_nodes, dtype=EDGE_DTYPE),
+                        self.out_degrees())
+        return COOGraph(self.num_nodes, src, self.targets.copy())
+
+    def gather_edges(self, frontier: np.ndarray) -> tuple[np.ndarray, np.ndarray]:
+        """Expand all out-edges of ``frontier`` (the expansion step).
+
+        Returns ``(edge_src, edge_dst)``; see :meth:`expand_frontier` for
+        the variant that also reports CSR edge positions.
+        """
+        edge_src, edge_dst, _ = self.expand_frontier(frontier)
+        return edge_src, edge_dst
+
+    def expand_frontier(
+        self, frontier: np.ndarray
+    ) -> tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Expand ``frontier`` with CSR positions.
+
+        Returns ``(edge_src, edge_dst, edge_pos)``: for every node ``u``
+        in ``frontier`` (in order) its neighbors appear contiguously, so
+        ``edge_src`` is ``frontier`` repeated by degree, ``edge_dst`` the
+        concatenated adjacency slices, and ``edge_pos`` each edge's index
+        in ``targets`` (used e.g. to look up edge weights).  Fully
+        vectorized multi-range gather; this is the hot path of every
+        traversal iteration.
+        """
+        frontier = np.asarray(frontier, dtype=EDGE_DTYPE)
+        starts = self.offsets[frontier]
+        counts = self.offsets[frontier + 1] - starts
+        total = int(counts.sum())
+        if total == 0:
+            empty = np.empty(0, dtype=EDGE_DTYPE)
+            return empty, empty.copy(), empty.copy()
+        edge_src = np.repeat(frontier, counts)
+        # Positions within targets: for each frontier node, the run
+        # starts[i] .. starts[i] + counts[i]; build all of them at once.
+        run_starts = np.repeat(starts, counts)
+        within = np.arange(total, dtype=EDGE_DTYPE)
+        run_offsets = np.repeat(np.cumsum(counts) - counts, counts)
+        edge_pos = run_starts + (within - run_offsets)
+        return edge_src, self.targets[edge_pos], edge_pos
+
+    # ------------------------------------------------------------------
+    # Transformation
+    # ------------------------------------------------------------------
+
+    def permute(self, perm: np.ndarray) -> "CSRGraph":
+        """Relabel nodes by a bijection ``perm`` (``new_id = perm[old_id]``).
+
+        This is the operation Sampling-based Reordering commits after each
+        round (paper Section 6) and what the reordering baselines apply
+        once up front.  Adjacency slices of the result are re-sorted.
+        """
+        perm = np.asarray(perm, dtype=EDGE_DTYPE)
+        if perm.size != self.num_nodes:
+            raise GraphFormatError(
+                f"permutation length {perm.size} != num_nodes {self.num_nodes}"
+            )
+        check = np.zeros(self.num_nodes, dtype=bool)
+        check[perm] = True
+        if not check.all():
+            raise GraphFormatError("perm is not a bijection on node ids")
+        coo = self.to_coo()
+        return CSRGraph.from_edges(self.num_nodes, perm[coo.src], perm[coo.dst])
+
+    def with_edges_added(self, src: np.ndarray, dst: np.ndarray) -> "CSRGraph":
+        """Return a new CSR with extra edges inserted (dynamic updates).
+
+        The paper argues SAGE applies directly to dynamic graphs because
+        only the CSR needs rebuilding (Section 7.2); this is that rebuild.
+        Duplicates are kept unless already deduplicated by the caller.
+        """
+        coo = self.to_coo()
+        all_src = np.concatenate([coo.src, np.asarray(src, dtype=EDGE_DTYPE)])
+        all_dst = np.concatenate([coo.dst, np.asarray(dst, dtype=EDGE_DTYPE)])
+        return CSRGraph.from_edges(self.num_nodes, all_src, all_dst)
+
+    def reversed(self) -> "CSRGraph":
+        """The transpose graph in CSR form."""
+        return CSRGraph.from_coo(self.to_coo().reversed())
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"CSRGraph(|V|={self.num_nodes}, |E|={self.num_edges})"

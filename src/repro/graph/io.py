@@ -1,0 +1,78 @@
+"""Graph file IO: text edge lists and a compact binary CSR format.
+
+Edge-list text files follow the widespread SNAP convention: one
+``src dst`` pair per whitespace-separated line, ``#`` comments allowed.
+The binary format is a small ``.npz`` wrapper around the CSR arrays —
+enough for examples to persist generated datasets.
+"""
+
+from __future__ import annotations
+
+import os
+import warnings
+
+import numpy as np
+
+from repro.errors import GraphFormatError
+from repro.graph.csr import CSRGraph
+
+_MAGIC = "repro-csr-v1"
+
+
+def write_edge_list(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Write a graph as a SNAP-style text edge list."""
+    coo = graph.to_coo()
+    with open(path, "w", encoding="ascii") as f:
+        f.write(f"# repro edge list |V|={graph.num_nodes} |E|={graph.num_edges}\n")
+        np.savetxt(f, np.column_stack([coo.src, coo.dst]), fmt="%d")
+
+
+def read_edge_list(
+    path: str | os.PathLike,
+    num_nodes: int | None = None,
+    *,
+    dedup: bool = False,
+) -> CSRGraph:
+    """Read a SNAP-style text edge list into a CSR graph.
+
+    Args:
+        path: file to read.
+        num_nodes: node count; inferred as ``max id + 1`` when omitted.
+        dedup: drop duplicate edges.
+    """
+    with warnings.catch_warnings():
+        # an edge list with only comments is a valid empty graph
+        warnings.filterwarnings("ignore", message="loadtxt: input contained")
+        data = np.loadtxt(path, dtype=np.int64, comments="#", ndmin=2)
+    if data.size == 0:
+        src = dst = np.empty(0, dtype=np.int64)
+    elif data.shape[1] < 2:
+        raise GraphFormatError(f"{path}: expected two columns per line")
+    else:
+        src, dst = data[:, 0], data[:, 1]
+    if num_nodes is None:
+        num_nodes = int(max(src.max(initial=-1), dst.max(initial=-1)) + 1)
+    return CSRGraph.from_edges(num_nodes, src, dst, dedup=dedup)
+
+
+def save_csr(graph: CSRGraph, path: str | os.PathLike) -> None:
+    """Persist a CSR graph to a compressed ``.npz`` file."""
+    np.savez_compressed(
+        path,
+        magic=np.array(_MAGIC),
+        num_nodes=np.array(graph.num_nodes, dtype=np.int64),
+        offsets=graph.offsets,
+        targets=graph.targets,
+    )
+
+
+def load_csr(path: str | os.PathLike) -> CSRGraph:
+    """Load a CSR graph previously written by :func:`save_csr`."""
+    with np.load(path, allow_pickle=False) as data:
+        if "magic" not in data or str(data["magic"]) != _MAGIC:
+            raise GraphFormatError(f"{path}: not a repro CSR file")
+        return CSRGraph(
+            int(data["num_nodes"]),
+            data["offsets"].copy(),
+            data["targets"].copy(),
+        )

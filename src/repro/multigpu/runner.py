@@ -1,0 +1,169 @@
+"""Multi-GPU traversal runner (paper Figure 9).
+
+Nodes are partitioned across devices; every iteration each GPU expands
+its share of the frontier, then boundary-crossing frontier updates are
+exchanged over the peer link and the devices synchronize.  The paper's
+observation that "using two GPUs does not always lead to better
+performance" falls out of the model: per-iteration kernels shrink, but
+the exchange + synchronization cost is paid every iteration.
+
+Bulk-synchronous engines (Gunrock-style, SAGE) pay the full barrier;
+Groute's asynchronous model overlaps communication with compute and pays
+a reduced coordination cost (``async_mode=True``).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.core.frontier import FrontierQueue
+from repro.core.pipeline import RunResult
+from repro.core.scheduler import Scheduler
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.gpusim.profiler import Profiler
+from repro.gpusim.spec import LinkSpec, NVLINK2
+
+#: bulk-synchronous barrier cost per iteration (all-device sync).
+SYNC_BARRIER_US = 1.5
+#: Groute-style asynchronous coordination cost per iteration.
+ASYNC_COORD_US = 0.8
+#: bytes per exchanged frontier update (node id + payload value).
+BYTES_PER_MESSAGE = 8
+
+
+class MultiGpuRunner:
+    """Runs one application across ``k`` simulated GPUs."""
+
+    def __init__(
+        self,
+        scheduler_factory: Callable[[], Scheduler],
+        assignment: np.ndarray,
+        *,
+        num_gpus: int = 2,
+        link: LinkSpec = NVLINK2,
+        async_mode: bool = False,
+        name: str | None = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise InvalidParameterError("num_gpus must be >= 1")
+        self.assignment = np.asarray(assignment, dtype=np.int64)
+        if self.assignment.size and self.assignment.max() >= num_gpus:
+            raise InvalidParameterError("assignment references unknown GPU")
+        self.num_gpus = num_gpus
+        self.link = link
+        self.async_mode = async_mode
+        self.schedulers = [scheduler_factory() for _ in range(num_gpus)]
+        self.devices = [Device(s.spec) for s in self.schedulers]
+        base = self.schedulers[0].name
+        self.name = name or f"{base}-x{num_gpus}"
+
+    def run(
+        self,
+        graph: CSRGraph,
+        app: App,
+        source: int | None = None,
+        *,
+        max_iterations: int = 100_000,
+    ) -> RunResult:
+        """Execute ``app`` across the GPUs; returns makespan timing."""
+        app.setup(graph, source)
+        for scheduler in self.schedulers:
+            scheduler.reset(graph)
+        queue = FrontierQueue(app.initial_frontier())
+        seconds = 0.0
+        comm_seconds = 0.0
+        edges_traversed = 0
+        messages = 0
+        iterations = 0
+        while not queue.empty:
+            if iterations >= max_iterations:
+                raise ConvergenceError(
+                    f"{app.name} exceeded {max_iterations} iterations"
+                )
+            frontier = queue.current
+            owners = self.assignment[frontier]
+            gpu_seconds = np.zeros(self.num_gpus)
+            all_src: list[np.ndarray] = []
+            all_dst: list[np.ndarray] = []
+            all_pos: list[np.ndarray] = []
+            remote_updates = 0
+            for gpu in range(self.num_gpus):
+                local = frontier[owners == gpu]
+                if local.size == 0:
+                    continue
+                edge_src, edge_dst, edge_pos = graph.expand_frontier(local)
+                degrees = graph.offsets[local + 1] - graph.offsets[local]
+                stats = self.schedulers[gpu].kernel_stats(
+                    local, degrees, edge_dst, graph, app
+                )
+                timing = self.devices[gpu].run_kernel(stats)
+                gpu_seconds[gpu] = self.devices[gpu].spec.cycles_to_seconds(
+                    timing.cycles
+                )
+                remote = edge_dst[self.assignment[edge_dst] != gpu]
+                # Engines aggregate frontier updates per node before
+                # shipping: a remote node is announced once, not once
+                # per incoming edge.
+                remote_updates += int(np.unique(remote).size)
+                all_src.append(edge_src)
+                all_dst.append(edge_dst)
+                all_pos.append(edge_pos)
+                edges_traversed += int(edge_dst.size)
+            if all_src:
+                edge_src = np.concatenate(all_src)
+                edge_dst = np.concatenate(all_dst)
+                edge_pos = np.concatenate(all_pos)
+            else:
+                edge_src = edge_dst = edge_pos = np.empty(0, dtype=np.int64)
+
+            exchange = self._exchange_seconds(remote_updates)
+            if self.async_mode:
+                # Asynchronous engines overlap communication with the
+                # slowest device's compute.
+                iter_seconds = max(float(gpu_seconds.max(initial=0.0)),
+                                   exchange) + ASYNC_COORD_US * 1e-6
+            else:
+                iter_seconds = (
+                    float(gpu_seconds.max(initial=0.0)) + exchange
+                    + (SYNC_BARRIER_US * 1e-6 if self.num_gpus > 1 else 0.0)
+                )
+            seconds += iter_seconds
+            comm_seconds += exchange
+            messages += remote_updates
+
+            next_frontier = app.process_level(
+                edge_src, edge_dst,
+                edge_pos if app.needs_edge_positions else None,
+            )
+            queue.publish_next(next_frontier)
+            queue.swap()
+            iterations += 1
+
+        profiler = Profiler()
+        for device in self.devices:
+            profiler = profiler.merged_with(device.profiler)
+        result = RunResult(
+            app_name=app.name,
+            scheduler_name=self.name,
+            seconds=seconds,
+            iterations=iterations,
+            edges_traversed=edges_traversed,
+            result=app.result(),
+            profiler=profiler,
+        )
+        result.extras["comm_seconds"] = comm_seconds
+        result.extras["messages"] = float(messages)
+        return result
+
+    def _exchange_seconds(self, remote_updates: int) -> float:
+        if self.num_gpus == 1 or remote_updates == 0:
+            return 0.0
+        payload = remote_updates * BYTES_PER_MESSAGE
+        # One aggregated buffer per peer pair; engines batch messages.
+        requests = self.num_gpus - 1
+        return self.link.transfer_seconds(payload, requests=requests)

@@ -1,0 +1,19 @@
+"""Out-of-core execution: graphs larger than device memory (Figure 8)."""
+
+from repro.outofcore.layout import GraphLayout, layout_for
+from repro.outofcore.pool import SectorPool, contiguous_runs
+from repro.outofcore.runners import (
+    OnDemandUMRunner,
+    SageOutOfCoreRunner,
+    SubwayRunner,
+)
+
+__all__ = [
+    "GraphLayout",
+    "OnDemandUMRunner",
+    "SageOutOfCoreRunner",
+    "SectorPool",
+    "SubwayRunner",
+    "contiguous_runs",
+    "layout_for",
+]

@@ -1,0 +1,293 @@
+"""Out-of-core traversal runners (paper Figure 8).
+
+Three strategies for running when the graph exceeds device memory, all
+executing the same functional pipeline and differing in how bytes cross
+the PCIe link:
+
+* :class:`SubwayRunner` — Subway [38]: per iteration, extract the
+  *active subgraph* (the frontier's adjacency lists) on the host and
+  ship it as one large asynchronous transfer that overlaps with compute.
+* :class:`SageOutOfCoreRunner` — SAGE: on-demand sector access through a
+  device-resident pool; Tiled Partitioning keeps accesses sector-aligned
+  so missing sectors cluster into few large requests, resident data is
+  reused across iterations, and Resident Tile Stealing keeps the memory
+  pipeline busy (modeled by its scheduler's concurrency).
+* :class:`OnDemandUMRunner` — naive unified-memory paging: page-granular
+  faults, unmerged and unoverlapped, so the control-segment overhead of
+  Section 3.3 crushes the effective bandwidth.
+
+In all three, the node-attribute arrays (|V| * 4 B) stay device-resident
+— it is the |E|-sized CSR image that exceeds device memory — so the
+external traffic below is adjacency traffic, while attribute access
+costs remain inside the kernel model.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.baselines.gunrock import GunrockScheduler
+from repro.core.engine import SageScheduler
+from repro.core.frontier import FrontierQueue
+from repro.core.pipeline import RunResult
+from repro.core.scheduler import Scheduler
+from repro.errors import ConvergenceError, InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.device import Device
+from repro.gpusim.spec import GPUSpec, LinkSpec, PCIE3_X16
+from repro.outofcore.layout import GraphLayout, layout_for
+from repro.outofcore.pool import SectorPool, contiguous_runs
+
+#: Subway's subgraph generation scans the full host-resident edge list
+#: to compact the active edges each round (SIMD-assisted).
+SUBWAY_SCAN_NS_PER_EDGE = 0.25
+#: unified-memory fault granularity.
+UM_PAGE_BYTES = 4096
+#: deep request pipelining from Resident Tile Stealing: many independent
+#: tiles keep this many fetches in flight, amortizing per-request cost.
+SAGE_REQUEST_PIPELINE = 8.0
+
+
+class _OutOfCoreBase:
+    """Shared pipeline loop for out-of-core runners."""
+
+    name = "ooc"
+
+    def __init__(
+        self,
+        scheduler: Scheduler,
+        *,
+        device_fraction: float = 0.25,
+        link: LinkSpec = PCIE3_X16,
+    ) -> None:
+        if not 0.0 < device_fraction <= 1.0:
+            raise InvalidParameterError("device_fraction must be in (0, 1]")
+        self.scheduler = scheduler
+        self.device_fraction = device_fraction
+        self.link = link
+        self.transfer_seconds_total = 0.0
+        self.bytes_transferred = 0
+        self.requests_issued = 0
+
+    def run(
+        self,
+        graph: CSRGraph,
+        app: App,
+        source: int | None = None,
+        *,
+        max_iterations: int = 100_000,
+    ) -> RunResult:
+        """Run ``app`` out-of-core and return timing including transfers."""
+        device = Device(self.scheduler.spec)
+        layout = layout_for(graph, self.scheduler.spec)
+        self._start(graph, layout)
+        app.setup(graph, source)
+        self.scheduler.reset(graph)
+        queue = FrontierQueue(app.initial_frontier())
+        seconds = 0.0
+        edges_traversed = 0
+        iterations = 0
+        self.transfer_seconds_total = 0.0
+        self.bytes_transferred = 0
+        self.requests_issued = 0
+        while not queue.empty:
+            if iterations >= max_iterations:
+                raise ConvergenceError(
+                    f"{app.name} exceeded {max_iterations} iterations"
+                )
+            frontier = queue.current
+            edge_src, edge_dst, edge_pos = graph.expand_frontier(frontier)
+            degrees = graph.offsets[frontier + 1] - graph.offsets[frontier]
+            stats = self.scheduler.kernel_stats(
+                frontier, degrees, edge_dst, graph, app
+            )
+            kernel_seconds = device.spec.cycles_to_seconds(
+                device.cost_model.time_kernel(stats).cycles
+            )
+            iter_seconds = self._iteration_seconds(
+                kernel_seconds, frontier, edge_dst, edge_pos, layout
+            )
+            device.profiler.record(stats, device.cost_model.time_kernel(stats))
+            seconds += iter_seconds
+            edges_traversed += int(edge_dst.size)
+            next_frontier = app.process_level(
+                edge_src, edge_dst,
+                edge_pos if app.needs_edge_positions else None,
+            )
+            queue.publish_next(next_frontier)
+            queue.swap()
+            iterations += 1
+        result = RunResult(
+            app_name=app.name,
+            scheduler_name=self.name,
+            seconds=seconds,
+            iterations=iterations,
+            edges_traversed=edges_traversed,
+            result=app.result(),
+            profiler=device.profiler,
+        )
+        result.extras["transfer_seconds"] = self.transfer_seconds_total
+        result.extras["bytes_transferred"] = float(self.bytes_transferred)
+        result.extras["requests"] = float(self.requests_issued)
+        return result
+
+    # hooks ------------------------------------------------------------
+
+    def _start(self, graph: CSRGraph, layout: GraphLayout) -> None:
+        """Per-run initialization."""
+
+    def _iteration_seconds(
+        self,
+        kernel_seconds: float,
+        frontier: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_pos: np.ndarray,
+        layout: GraphLayout,
+    ) -> float:
+        raise NotImplementedError
+
+
+class SubwayRunner(_OutOfCoreBase):
+    """Active-subgraph extraction with asynchronous preloading."""
+
+    name = "subway"
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        *,
+        device_fraction: float = 0.25,
+        link: LinkSpec = PCIE3_X16,
+    ) -> None:
+        super().__init__(
+            GunrockScheduler(spec), device_fraction=device_fraction, link=link
+        )
+
+    def _iteration_seconds(
+        self,
+        kernel_seconds: float,
+        frontier: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_pos: np.ndarray,
+        layout: GraphLayout,
+    ) -> float:
+        # The active subgraph: frontier adjacency lists (4 B targets)
+        # plus a compacted offsets array (8 B per frontier node),
+        # shipped as one large batched transfer.
+        payload = edge_dst.size * 4 + frontier.size * 8
+        transfer = self.link.transfer_seconds(payload, requests=1)
+        # Subgraph generation compacts the active edges out of the full
+        # host edge list every round.
+        total_edges = int(layout.targets_sectors * layout.sector_width)
+        extract = total_edges * SUBWAY_SCAN_NS_PER_EDGE * 1e-9
+        self.transfer_seconds_total += transfer
+        self.bytes_transferred += payload
+        self.requests_issued += 1
+        # Asynchronous preloading overlaps the transfer with compute.
+        return max(kernel_seconds, transfer) + extract
+
+
+class SageOutOfCoreRunner(_OutOfCoreBase):
+    """Tile-aligned on-demand access through a resident sector pool."""
+
+    name = "sage-ooc"
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        *,
+        device_fraction: float = 0.25,
+        link: LinkSpec = PCIE3_X16,
+        scheduler: Scheduler | None = None,
+    ) -> None:
+        super().__init__(
+            scheduler or SageScheduler(spec),
+            device_fraction=device_fraction,
+            link=link,
+        )
+        self._pool: SectorPool | None = None
+
+    def _start(self, graph: CSRGraph, layout: GraphLayout) -> None:
+        total = self._pool_units(layout)
+        capacity = max(1, int(total * self.device_fraction))
+        self._pool = SectorPool(capacity, total)
+
+    def _pool_units(self, layout: GraphLayout) -> int:
+        """Units the residency pool tracks (sectors by default)."""
+        return layout.targets_sectors
+
+    def _iteration_seconds(
+        self,
+        kernel_seconds: float,
+        frontier: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_pos: np.ndarray,
+        layout: GraphLayout,
+    ) -> float:
+        assert self._pool is not None
+        needed = layout.target_sectors_of(edge_pos)
+        missing = self._pool.access(needed)
+        payload = missing.size * layout.sector_bytes
+        # Tile alignment merges contiguous missing sectors into single
+        # requests (Section 5.3's alignment + Section 7.2's analysis);
+        # Resident Tile Stealing keeps many independent fetches in
+        # flight, amortizing the per-request controller cost.
+        requests = contiguous_runs(missing)
+        effective_requests = max(
+            1, int(round(requests / SAGE_REQUEST_PIPELINE))
+        ) if requests else 0
+        transfer = self.link.transfer_seconds(payload,
+                                              requests=effective_requests)
+        self.transfer_seconds_total += transfer
+        self.bytes_transferred += payload
+        self.requests_issued += requests
+        # ...and overlaps fetches with compute on already-resident tiles.
+        return max(kernel_seconds, transfer)
+
+
+class OnDemandUMRunner(SageOutOfCoreRunner):
+    """Naive unified-memory paging: page-granular faults, no overlap.
+
+    Every fault moves a whole 4 KiB page (over-fetch for scattered
+    accesses) and stalls the faulting warp; faults are not merged.
+    """
+
+    name = "um-ondemand"
+
+    def __init__(
+        self,
+        spec: GPUSpec | None = None,
+        *,
+        device_fraction: float = 0.25,
+        link: LinkSpec = PCIE3_X16,
+    ) -> None:
+        super().__init__(
+            spec, device_fraction=device_fraction, link=link,
+            scheduler=GunrockScheduler(spec),
+        )
+
+    def _pool_units(self, layout: GraphLayout) -> int:
+        sectors_per_page = UM_PAGE_BYTES // layout.sector_bytes
+        return max(1, -(-layout.targets_sectors // sectors_per_page))
+
+    def _iteration_seconds(
+        self,
+        kernel_seconds: float,
+        frontier: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_pos: np.ndarray,
+        layout: GraphLayout,
+    ) -> float:
+        assert self._pool is not None
+        sectors_per_page = UM_PAGE_BYTES // layout.sector_bytes
+        needed = layout.target_sectors_of(edge_pos) // sectors_per_page
+        missing_pages = self._pool.access(needed)
+        payload = missing_pages.size * UM_PAGE_BYTES
+        requests = int(missing_pages.size)  # a fault per page, unmerged
+        transfer = self.link.transfer_seconds(payload, requests=requests)
+        self.transfer_seconds_total += transfer
+        self.bytes_transferred += payload
+        self.requests_issued += requests
+        # Page faults stall the kernel: no overlap.
+        return kernel_seconds + transfer

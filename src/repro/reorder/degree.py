@@ -1,0 +1,46 @@
+"""Degree- and traversal-based orderings.
+
+* :func:`degree_order` — descending out-degree (the HALO [11]-style
+  "hot nodes first" centrality layout used for unified-memory paging).
+* :func:`bfs_order` — discovery order of a BFS from the highest-degree
+  node: a cheap locality baseline that groups each level contiguously.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+
+import numpy as np
+
+from repro.graph.csr import CSRGraph
+from repro.reorder.base import order_to_perm
+
+
+def degree_order(graph: CSRGraph) -> np.ndarray:
+    """Permutation placing high-out-degree nodes first (stable)."""
+    degrees = graph.out_degrees()
+    order = np.argsort(-degrees, kind="stable").astype(np.int64)
+    return order_to_perm(order)
+
+
+def bfs_order(graph: CSRGraph) -> np.ndarray:
+    """Permutation by BFS discovery order from the top-degree node."""
+    sym = CSRGraph.from_coo(graph.to_coo().symmetrized())
+    n = sym.num_nodes
+    visited = np.zeros(n, dtype=bool)
+    order: list[int] = []
+    degrees = sym.out_degrees()
+    seeds = np.argsort(-degrees, kind="stable")
+    for seed in seeds:
+        if visited[seed]:
+            continue
+        visited[seed] = True
+        queue: deque[int] = deque([int(seed)])
+        while queue:
+            u = queue.popleft()
+            order.append(u)
+            nbrs = sym.neighbors(u)
+            fresh = nbrs[~visited[nbrs]]
+            visited[fresh] = True
+            queue.extend(int(v) for v in fresh)
+    return order_to_perm(np.asarray(order, dtype=np.int64))

@@ -1,0 +1,79 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+from repro.graph import datasets, io
+
+
+class TestInfo:
+    def test_dataset_info(self, capsys):
+        assert main(["info", "--dataset", "brain", "--scale", "0.1"]) == 0
+        out = capsys.readouterr().out
+        assert "avg degree" in out
+        assert "sector span" in out
+
+    def test_file_info(self, tmp_path, capsys, tiny_graph):
+        path = tmp_path / "g.txt"
+        io.write_edge_list(tiny_graph, path)
+        assert main(["info", "--file", str(path)]) == 0
+        assert "|V|=4" in capsys.readouterr().out
+
+
+class TestGenerate:
+    def test_roundtrip(self, tmp_path, capsys):
+        out = tmp_path / "twitter.txt"
+        assert main(["generate", "--dataset", "twitter", "--scale", "0.05",
+                     "--out", str(out)]) == 0
+        graph = io.read_edge_list(out)
+        expected = datasets.by_name("twitter", 0.05).graph
+        assert graph.num_edges == expected.num_edges
+
+
+class TestRun:
+    @pytest.mark.parametrize("app", ["bfs", "pr", "cc"])
+    def test_apps(self, app, capsys):
+        assert main(["run", "--dataset", "ljournal", "--scale", "0.05",
+                     "--app", app]) == 0
+        out = capsys.readouterr().out
+        assert "traversal speed" in out
+
+    @pytest.mark.parametrize("scheduler", ["sage", "tpn", "gunrock",
+                                           "ligra"])
+    def test_schedulers(self, scheduler, capsys):
+        assert main(["run", "--dataset", "brain", "--scale", "0.05",
+                     "--app", "bfs", "--scheduler", scheduler]) == 0
+
+    def test_explicit_source(self, capsys):
+        assert main(["run", "--dataset", "brain", "--scale", "0.05",
+                     "--app", "bfs", "--source", "3"]) == 0
+        assert "source 3" in capsys.readouterr().out
+
+    def test_reorder_commits_reported(self, capsys):
+        assert main(["run", "--dataset", "twitter", "--scale", "0.1",
+                     "--app", "pr", "--scheduler", "sage-sr"]) == 0
+
+
+class TestReorder:
+    @pytest.mark.parametrize("method", ["rcm", "degree", "random", "sage"])
+    def test_methods(self, method, capsys):
+        assert main(["reorder", "--dataset", "twitter", "--scale", "0.05",
+                     "--method", method, "--rounds", "2"]) == 0
+        assert "sector span" in capsys.readouterr().out
+
+
+class TestSCCCommand:
+    def test_scc(self, capsys):
+        assert main(["scc", "--dataset", "ljournal", "--scale", "0.05"]) == 0
+        out = capsys.readouterr().out
+        assert "components" in out
+
+
+class TestExperiment:
+    def test_table1(self, capsys):
+        assert main(["experiment", "table1", "--scale", "0.05"]) == 0
+        assert "dataset" in capsys.readouterr().out
+
+    def test_unknown_rejected(self):
+        with pytest.raises(SystemExit):
+            main(["experiment", "table99"])

@@ -1,0 +1,91 @@
+"""Cross-cutting tests for interactions not covered elsewhere."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFSApp, MultiSourceBFSApp, PageRankApp
+from repro.baselines import B40CScheduler
+from repro.core import (
+    CompressedTraversalScheduler,
+    SageScheduler,
+    direction_optimized_bfs,
+    run_app,
+)
+from repro.graph import CompressedCSRGraph, generators as gen
+from repro.outofcore import SageOutOfCoreRunner
+
+
+class TestCompressedSchedulerPassthrough:
+    def test_reorder_passes_through_wrapper(self):
+        g = gen.power_law_configuration(
+            300, 2.0, 10.0, seed=4, community_count=6, scramble_ids=True
+        )
+        compressed = CompressedCSRGraph.from_csr(g)
+        inner = SageScheduler(sampling_reorder=True,
+                              reorder_threshold_edges=g.num_edges)
+        sched = CompressedTraversalScheduler(inner, compressed)
+        result = run_app(g, PageRankApp(max_iterations=20), sched)
+        # the wrapped engine still commits reorderings through the wrapper
+        assert result.reorder_commits >= 1
+
+    def test_wrapper_name(self):
+        g = gen.cycle_graph(8)
+        compressed = CompressedCSRGraph.from_csr(g)
+        sched = CompressedTraversalScheduler(B40CScheduler(), compressed)
+        assert sched.name == "b40c+compressed"
+
+
+class TestOutOfCorePoolReuse:
+    def test_pr_transfers_shrink_after_first_iteration(self):
+        """PR revisits every adjacency each iteration: the resident pool
+        turns later iterations into (near) zero-transfer rounds."""
+        g = gen.power_law_configuration(600, 2.0, 12.0, seed=5)
+        runner = SageOutOfCoreRunner(device_fraction=0.95)
+        result = runner.run(g, PageRankApp(max_iterations=6))
+        # total bytes moved stay close to one full graph image, not six
+        targets_bytes = g.num_edges * 4
+        assert result.extras["bytes_transferred"] < 2.2 * targets_bytes
+
+
+class TestHybridWithBaselines:
+    def test_hybrid_runs_on_b40c(self, skewed_graph):
+        source = int(np.argmax(skewed_graph.out_degrees()))
+        plain = run_app(skewed_graph, BFSApp(), B40CScheduler(),
+                        source=source)
+        hybrid, _ = direction_optimized_bfs(
+            skewed_graph, B40CScheduler, source
+        )
+        assert np.array_equal(plain.result["dist"], hybrid.result["dist"])
+
+
+class TestMSBFSUnderReordering:
+    def test_levels_survive_midrun_reorder(self):
+        g = gen.power_law_configuration(
+            400, 2.0, 12.0, seed=6, community_count=8, scramble_ids=True
+        )
+        sources = np.array([0, 7, 13])
+        plain = run_app(g, MultiSourceBFSApp(sources), SageScheduler())
+        sched = SageScheduler(sampling_reorder=True,
+                              reorder_threshold_edges=g.num_edges // 2)
+        adaptive = run_app(g, MultiSourceBFSApp(sources), sched)
+        assert adaptive.reorder_commits >= 1
+        assert np.array_equal(plain.result["levels"],
+                              adaptive.result["levels"])
+
+
+class TestCliExperiments:
+    @pytest.mark.parametrize("name", ["table3", "fig10"])
+    def test_experiment_commands(self, name, capsys):
+        from repro.cli import main
+        assert main(["experiment", name, "--scale", "0.05"]) == 0
+        assert "dataset" in capsys.readouterr().out
+
+
+class TestReorderRoundsDefaults:
+    def test_default_checkpoints(self):
+        from repro.bench import sage_reorder_rounds
+        g = gen.power_law_configuration(200, 2.0, 8.0, seed=3)
+        rounds = sage_reorder_rounds(g, 7)
+        # defaults: geometric checkpoints plus the final round
+        assert 7 in rounds.snapshots
+        assert 1 in rounds.snapshots

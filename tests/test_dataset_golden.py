@@ -1,0 +1,39 @@
+"""Golden regression tests: the dataset stand-ins are part of the
+experiment definition, so their exact shapes are pinned.
+
+If a generator change is intentional, update these numbers together with
+a re-run of the benchmark suite (the figures depend on them).
+"""
+
+import pytest
+
+from repro.graph import datasets
+
+GOLDEN = {
+    # name: (num_nodes, num_edges) at scale 0.25
+    "uk-2002": (3000, 50160),
+    "brain": (400, 31926),
+    "ljournal": (2000, 25399),
+    "twitter": (2500, 52988),
+    "friendster": (3500, 71511),
+}
+
+
+@pytest.mark.parametrize("name,expected", sorted(GOLDEN.items()))
+def test_dataset_shape_pinned(name, expected):
+    ds = datasets.by_name(name, scale=0.25)
+    assert (ds.num_nodes, ds.num_edges) == expected
+
+
+def test_scale_changes_size_monotonically():
+    small = datasets.by_name("twitter", scale=0.1)
+    large = datasets.by_name("twitter", scale=0.4)
+    assert small.num_nodes < large.num_nodes
+    assert small.num_edges < large.num_edges
+
+
+def test_same_scale_same_graph_object():
+    # lru_cache: repeated suite construction must not regenerate
+    a = datasets.by_name("brain", scale=0.25).graph
+    b = datasets.by_name("brain", scale=0.25).graph
+    assert a is b

@@ -1,0 +1,83 @@
+"""Tests for multi-source concurrent BFS (bit-parallel iBFS)."""
+
+import numpy as np
+import pytest
+
+from repro.apps import BFSApp, MultiSourceBFSApp
+from repro.core import SageScheduler, run_app
+from repro.errors import InvalidParameterError
+from repro.graph import generators as gen
+
+
+class TestMultiSourceBFS:
+    def run_msbfs(self, graph, sources):
+        app = MultiSourceBFSApp(np.asarray(sources))
+        return run_app(graph, app, SageScheduler())
+
+    def single_bfs(self, graph, source):
+        return run_app(graph, BFSApp(), SageScheduler(),
+                       source=source).result["dist"]
+
+    @pytest.mark.parametrize("n_sources", [1, 3, 8])
+    def test_levels_match_single_source_runs(self, skewed_graph, n_sources):
+        sources = list(range(n_sources))
+        result = self.run_msbfs(skewed_graph, sources)
+        levels = result.result["levels"]
+        for i, source in enumerate(sources):
+            assert np.array_equal(levels[i], self.single_bfs(
+                skewed_graph, source)), f"source {source}"
+
+    def test_reach_mask_consistent_with_levels(self, web_graph):
+        sources = [0, 5, 9]
+        result = self.run_msbfs(web_graph, sources)
+        levels = result.result["levels"]
+        mask = result.result["reach_mask"]
+        for i in range(len(sources)):
+            bit = np.uint64(1) << np.uint64(i)
+            reached_by_mask = (mask & bit) != 0
+            assert np.array_equal(reached_by_mask, levels[i] >= 0)
+
+    def test_shares_traversal_work(self, regular_graph):
+        """One concurrent run traverses fewer edges than k separate runs."""
+        sources = [0, 1, 2, 3]
+        combined = self.run_msbfs(regular_graph, sources)
+        separate = sum(
+            run_app(regular_graph, BFSApp(), SageScheduler(),
+                    source=s).edges_traversed
+            for s in sources
+        )
+        assert combined.edges_traversed < separate
+
+    def test_max_sources_enforced(self):
+        with pytest.raises(InvalidParameterError):
+            MultiSourceBFSApp(np.arange(65))
+        with pytest.raises(InvalidParameterError):
+            MultiSourceBFSApp(np.array([], dtype=np.int64))
+
+    def test_duplicate_sources_rejected(self):
+        with pytest.raises(InvalidParameterError):
+            MultiSourceBFSApp(np.array([1, 1]))
+
+    def test_source_range_checked(self, tiny_graph):
+        app = MultiSourceBFSApp(np.array([99]))
+        with pytest.raises(InvalidParameterError):
+            run_app(tiny_graph, app, SageScheduler())
+
+    def test_sixty_four_sources(self):
+        g = gen.erdos_renyi(200, 6.0, seed=2)
+        sources = np.arange(64)
+        result = self.run_msbfs(g, sources)
+        assert result.result["levels"].shape == (64, 200)
+        # spot-check a few against single-source truth
+        for s in (0, 31, 63):
+            assert np.array_equal(result.result["levels"][s],
+                                  self.single_bfs(g, int(s)))
+
+    def test_disconnected_sources(self):
+        # two islands, one source in each
+        from repro.graph.csr import CSRGraph
+        g = CSRGraph.from_edges(4, np.array([0, 2]), np.array([1, 3]))
+        result = self.run_msbfs(g, [0, 2])
+        levels = result.result["levels"]
+        assert levels[0].tolist() == [0, 1, -1, -1]
+        assert levels[1].tolist() == [-1, -1, 0, 1]

@@ -1,0 +1,152 @@
+"""Property-based invariants across random graphs (hypothesis)."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.apps import (
+    BFSApp,
+    ConnectedComponentsApp,
+    PageRankApp,
+    SSSPApp,
+)
+from repro.core import SageScheduler, run_app
+from repro.graph.compressed import CompressedCSRGraph
+from repro.graph.csr import CSRGraph
+from repro.outofcore import SectorPool
+
+
+def graph_strategy(max_nodes=24, max_edges=80):
+    return st.integers(2, max_nodes).flatmap(
+        lambda n: st.tuples(
+            st.just(n),
+            st.lists(
+                st.tuples(st.integers(0, n - 1), st.integers(0, n - 1)),
+                max_size=max_edges,
+            ),
+        )
+    )
+
+
+def build(data) -> CSRGraph:
+    n, pairs = data
+    src = np.array([p[0] for p in pairs], dtype=np.int64)
+    dst = np.array([p[1] for p in pairs], dtype=np.int64)
+    return CSRGraph.from_edges(n, src, dst, dedup=True,
+                               drop_self_loops=True)
+
+
+class TestBFSInvariants:
+    @given(graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_levels_differ_by_at_most_one_across_edges(self, data):
+        """For every edge u->v with u reached: dist[v] <= dist[u] + 1."""
+        graph = build(data)
+        result = run_app(graph, BFSApp(), SageScheduler(), source=0)
+        dist = result.result["dist"]
+        coo = graph.to_coo()
+        for u, v in zip(coo.src.tolist(), coo.dst.tolist()):
+            if dist[u] >= 0:
+                assert dist[v] >= 0
+                assert dist[v] <= dist[u] + 1
+
+    @given(graph_strategy())
+    @settings(max_examples=50, deadline=None)
+    def test_source_is_zero_everything_else_positive_or_unreached(self, data):
+        graph = build(data)
+        dist = run_app(graph, BFSApp(), SageScheduler(),
+                       source=1).result["dist"]
+        assert dist[1] == 0
+        others = np.delete(dist, 1)
+        assert np.all((others == -1) | (others >= 1))
+
+
+class TestPageRankInvariants:
+    @given(graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_mass_conserved_and_positive(self, data):
+        graph = build(data)
+        pr = run_app(
+            graph, PageRankApp(max_iterations=50, tolerance=1e-12),
+            SageScheduler(),
+        ).result["pagerank"]
+        assert np.all(pr > 0)
+        np.testing.assert_allclose(pr.sum(), 1.0, atol=1e-9)
+
+
+class TestCCInvariants:
+    @given(graph_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_labels_constant_within_edges_of_symmetric_graph(self, data):
+        graph = build(data)
+        sym = CSRGraph.from_coo(graph.to_coo().symmetrized())
+        comp = run_app(sym, ConnectedComponentsApp(),
+                       SageScheduler()).result["component"]
+        coo = sym.to_coo()
+        assert np.array_equal(comp[coo.src], comp[coo.dst])
+        # every label is the minimum of its class
+        for label in np.unique(comp):
+            members = np.flatnonzero(comp == label)
+            assert label == members.min()
+
+
+class TestSSSPInvariants:
+    @given(graph_strategy())
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_inequality_on_edges(self, data):
+        from repro.apps.sssp import INF
+        graph = build(data)
+        app = SSSPApp()
+        result = run_app(graph, app, SageScheduler(), source=0)
+        dist = result.result["dist"]
+        coo = graph.to_coo()
+        for idx, (u, v) in enumerate(zip(coo.src.tolist(),
+                                         coo.dst.tolist())):
+            if dist[u] < INF:
+                assert dist[v] <= dist[u] + app.weights[idx]
+
+    @given(graph_strategy())
+    @settings(max_examples=30, deadline=None)
+    def test_unit_weights_reduce_to_bfs(self, data):
+        graph = build(data)
+        weights = np.ones(graph.num_edges, dtype=np.int64)
+        sssp = run_app(graph, SSSPApp(weights), SageScheduler(),
+                       source=0).result["dist"]
+        bfs = run_app(graph, BFSApp(), SageScheduler(),
+                      source=0).result["dist"]
+        from repro.apps.sssp import INF
+        reachable = bfs >= 0
+        assert np.array_equal(sssp[reachable], bfs[reachable])
+        assert np.all(sssp[~reachable] == INF)
+
+
+class TestCompressedInvariants:
+    @given(graph_strategy(max_nodes=40, max_edges=200))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_any_graph(self, data):
+        graph = build(data)
+        compressed = CompressedCSRGraph.from_csr(graph)
+        back = compressed.to_csr()
+        assert np.array_equal(back.offsets, graph.offsets)
+        assert np.array_equal(back.targets, graph.targets)
+        assert compressed.compressed_bytes <= max(
+            1, compressed.uncompressed_bytes * 2
+        )
+
+
+class TestPoolInvariants:
+    @given(
+        st.lists(st.lists(st.integers(0, 40), max_size=20), max_size=20),
+        st.integers(1, 16),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_resident_never_exceeds_capacity(self, batches, capacity):
+        pool = SectorPool(capacity, 41)
+        for batch in batches:
+            missing = pool.access(np.array(batch, dtype=np.int64))
+            assert pool.resident_count <= capacity
+            # a re-access of what was just fetched cannot miss unless the
+            # batch itself overflowed the pool
+            if len(set(batch)) <= capacity and len(batch):
+                again = pool.access(np.array(batch, dtype=np.int64))
+                assert again.size == 0

@@ -1,0 +1,24 @@
+"""Tests for the no-pytest experiment runner."""
+
+from repro.bench.run_all import EXPERIMENTS, main
+
+
+class TestRunAll:
+    def test_covers_every_experiment(self):
+        names = {name for name, *_ in EXPERIMENTS}
+        assert names == {"table1", "table2", "table3",
+                         "fig6", "fig7", "fig8", "fig9", "fig10"}
+
+    def test_subset_run_writes_results(self, tmp_path, capsys):
+        results = tmp_path / "results"
+        md = tmp_path / "EXPERIMENTS.md"
+        rc = main(["--scale", "0.05", "--only", "table1", "fig8",
+                   "--results", str(results),
+                   "--experiments-md", str(md)])
+        assert rc == 0
+        assert (results / "table1.txt").exists()
+        assert (results / "fig8.txt").exists()
+        assert not (results / "fig6.txt").exists()
+        assert "paper vs. measured" in md.read_text()
+        out = capsys.readouterr().out
+        assert "regenerated" in out
