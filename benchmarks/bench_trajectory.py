@@ -1,0 +1,206 @@
+#!/usr/bin/env python
+"""Perf-trajectory harness: the fixed suite CI diffs across PRs.
+
+Runs a small, fully seeded workload suite — BFS / PageRank / SSSP on an
+R-MAT graph plus an out-of-core BFS — and writes ``BENCH_repro.json``
+with simulated cycles, simulated seconds, wall time and the key
+observability counters for each workload.  Everything gated is
+*simulated* (deterministic across machines); wall time is recorded for
+context but never gated.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_trajectory.py --smoke \
+        --out BENCH_repro.json                      # (re)write a file
+    PYTHONPATH=src python benchmarks/bench_trajectory.py --smoke \
+        --baseline BENCH_repro.json --check         # CI regression gate
+
+The gate fails (exit 1) when any tracked lower-is-better metric of any
+workload regresses more than ``--tolerance`` (default 20 %) against the
+committed baseline.  To refresh the baseline after an intentional perf
+change, re-run with ``--out BENCH_repro.json`` and commit the result
+(see README "Observability" / DESIGN.md for the policy).
+
+This file is NOT a pytest module on purpose: it is a standalone artifact
+generator invoked by the CI benchmark-smoke job.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.apps import BFSApp, PageRankApp, SSSPApp
+from repro.core import SageScheduler, run_app
+from repro.graph.generators import rmat
+from repro.obs import MetricsRegistry
+from repro.outofcore.runners import SageOutOfCoreRunner
+
+SCHEMA_VERSION = 1
+
+#: Lower-is-better metrics the CI gate tracks per workload.
+GATED_METRICS = (
+    "total_cycles",
+    "simulated_seconds",
+    "dram_bytes",
+    "kernels",
+)
+
+
+def _graph(smoke: bool):
+    scale = 10 if smoke else 13
+    return rmat(scale, edge_factor=8, seed=7)
+
+
+def _workloads(smoke: bool):
+    """The fixed suite: name -> zero-argument runner returning a row."""
+    graph = _graph(smoke)
+    source = int(np.argmax(graph.out_degrees()))
+    pr_iters = 5 if smoke else 15
+
+    def single(make_app, **app_kwargs):
+        def run():
+            metrics = MetricsRegistry()
+            result = run_app(
+                graph, make_app(**app_kwargs), SageScheduler(),
+                source=source, metrics=metrics,
+            )
+            return result, metrics
+        return run
+
+    def out_of_core():
+        metrics = MetricsRegistry()
+        runner = SageOutOfCoreRunner(device_fraction=0.25, metrics=metrics)
+        result = runner.run(graph, BFSApp(), source)
+        return result, metrics
+
+    return {
+        "bfs_rmat": single(BFSApp),
+        "pagerank_rmat": single(PageRankApp, max_iterations=pr_iters),
+        "sssp_rmat": single(SSSPApp),
+        "bfs_rmat_outofcore": out_of_core,
+    }
+
+
+def run_suite(smoke: bool) -> dict:
+    """Execute the suite; returns the BENCH_repro.json payload."""
+    rows: dict[str, dict] = {}
+    for name, runner in _workloads(smoke).items():
+        wall_start = time.perf_counter()
+        result, metrics = runner()
+        wall = time.perf_counter() - wall_start
+        profiler = result.profiler
+        counters = metrics.report()["counters"]
+        row = {
+            "simulated_seconds": result.seconds,
+            "total_cycles": profiler.total_cycles,
+            "kernels": float(profiler.kernels),
+            "dram_bytes": profiler.dram_bytes,
+            "iterations": float(result.iterations),
+            "edges_traversed": float(result.edges_traversed),
+            "lane_efficiency": profiler.lane_efficiency,
+            "overhead_fraction": profiler.overhead_fraction,
+            "wall_seconds": wall,  # informational, never gated
+        }
+        # Carry the scheduler/transfer counters so trajectory diffs show
+        # *why* a metric moved, not just that it did.
+        for key in ("sage.tiles", "sage.tiles_expanded",
+                    "sage.tiles_stolen_resident", "ooc.bytes_transferred",
+                    "ooc.requests"):
+            if key in counters:
+                row[key] = counters[key]
+        rows[name] = row
+        print(f"  {name:24s} cycles={row['total_cycles']:14.1f} "
+              f"sim={row['simulated_seconds'] * 1e3:9.4f} ms "
+              f"wall={wall:6.2f} s")
+    return {
+        "schema_version": SCHEMA_VERSION,
+        "suite": "smoke" if smoke else "full",
+        "gated_metrics": list(GATED_METRICS),
+        "workloads": rows,
+    }
+
+
+def check_regression(
+    current: dict, baseline: dict, tolerance: float
+) -> list[str]:
+    """Compare gated metrics; returns human-readable failure strings."""
+    failures: list[str] = []
+    if baseline.get("suite") != current.get("suite"):
+        failures.append(
+            f"suite mismatch: baseline is {baseline.get('suite')!r}, "
+            f"current is {current.get('suite')!r} — refresh the baseline"
+        )
+        return failures
+    base_rows = baseline.get("workloads", {})
+    for name, row in current["workloads"].items():
+        base = base_rows.get(name)
+        if base is None:
+            # New workloads are allowed; they start their own trajectory.
+            continue
+        for metric in GATED_METRICS:
+            old = base.get(metric)
+            new = row.get(metric)
+            if old is None or new is None or old <= 0:
+                continue
+            ratio = new / old
+            if ratio > 1.0 + tolerance:
+                failures.append(
+                    f"{name}.{metric}: {old:.4g} -> {new:.4g} "
+                    f"({100 * (ratio - 1):+.1f} %, tolerance "
+                    f"{100 * tolerance:.0f} %)"
+                )
+    return failures
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--smoke", action="store_true",
+                        help="small graphs (the CI configuration)")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the trajectory JSON here")
+    parser.add_argument("--baseline", default=None, metavar="PATH",
+                        help="committed baseline to compare against")
+    parser.add_argument("--check", action="store_true",
+                        help="exit 1 if a gated metric regresses")
+    parser.add_argument("--tolerance", type=float, default=0.20,
+                        help="allowed relative regression (default 0.20)")
+    args = parser.parse_args(argv)
+
+    print(f"bench_trajectory: suite={'smoke' if args.smoke else 'full'}")
+    current = run_suite(args.smoke)
+
+    if args.out:
+        out = Path(args.out)
+        out.write_text(
+            json.dumps(current, indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        print(f"wrote {out}")
+
+    if args.baseline:
+        base_path = Path(args.baseline)
+        if not base_path.exists():
+            print(f"baseline {base_path} missing", file=sys.stderr)
+            return 1 if args.check else 0
+        baseline = json.loads(base_path.read_text(encoding="utf-8"))
+        failures = check_regression(current, baseline, args.tolerance)
+        if failures:
+            print("perf-trajectory regressions:", file=sys.stderr)
+            for failure in failures:
+                print(f"  {failure}", file=sys.stderr)
+            if args.check:
+                return 1
+        else:
+            print(f"no gated metric regressed beyond "
+                  f"{100 * args.tolerance:.0f} % of {base_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,9 +12,45 @@ from __future__ import annotations
 
 import pathlib
 
+import pytest
+
 from repro.bench import format_table
 
 RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+
+def pytest_addoption(parser: pytest.Parser) -> None:
+    parser.addoption(
+        "--run-benchmarks",
+        action="store_true",
+        default=False,
+        help="actually execute the experiment-driver benchmarks "
+             "(they are collected but skipped by default)",
+    )
+
+
+def pytest_collection_modifyitems(
+    config: pytest.Config, items: list[pytest.Item]
+) -> None:
+    """Benchmarks are collectable everywhere but opt-in to run.
+
+    ``pyproject.toml`` keeps ``testpaths = ["tests"]`` so the tier-1
+    command never collects this directory; when it *is* collected
+    explicitly (``pytest benchmarks``), every module here is marked and
+    skipped unless ``--run-benchmarks`` is passed — CI asserts the
+    collection stays green without paying for the full experiment suite.
+    """
+    here = pathlib.Path(__file__).parent
+    skip = pytest.mark.skip(
+        reason="experiment driver; enable with --run-benchmarks"
+    )
+    run_them = config.getoption("--run-benchmarks")
+    for item in items:
+        if here not in pathlib.Path(str(item.fspath)).parents:
+            continue
+        item.add_marker(pytest.mark.benchmark_suite)
+        if not run_them:
+            item.add_marker(skip)
 
 
 def emit(name: str, title: str, rows: list[dict[str, object]]) -> None:

@@ -26,6 +26,7 @@ from repro.errors import (
     SimulationError,
 )
 from repro.graph import COOGraph, CSRGraph
+from repro.obs import MetricsRegistry
 
 __version__ = "0.1.0"
 
@@ -35,6 +36,7 @@ __all__ = [
     "ConvergenceError",
     "GraphFormatError",
     "InvalidParameterError",
+    "MetricsRegistry",
     "ReproError",
     "RunResult",
     "SageScheduler",

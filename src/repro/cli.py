@@ -5,6 +5,8 @@ Subcommands:
 * ``info``      — Table-1 style statistics for a dataset or edge-list file
 * ``generate``  — write a synthetic dataset as a SNAP edge list
 * ``run``       — run an application with a chosen scheduler, print timing
+  (``--emit-metrics PATH`` exports the hierarchical span/metrics JSON)
+* ``report``    — pretty-print a metrics JSON written by ``--emit-metrics``
 * ``reorder``   — apply a reordering method, report locality + cost
 * ``scc``       — strongly-connected-component decomposition
 * ``experiment``— regenerate one paper table/figure from the harness
@@ -13,6 +15,7 @@ Subcommands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 
 import numpy as np
@@ -47,6 +50,12 @@ from repro.bench import (
 )
 from repro.core import SageScheduler, run_app
 from repro.graph import datasets, degree_stats, id_locality, io, sector_span
+from repro.obs import (
+    MetricsRegistry,
+    format_report,
+    report_from_json,
+    write_json,
+)
 from repro.graph.csr import CSRGraph
 from repro.reorder import (
     bfs_order,
@@ -141,11 +150,12 @@ def cmd_run(args: argparse.Namespace) -> int:
     if source is None and args.app in ("bfs", "bc", "sssp"):
         source = int(np.argmax(graph.out_degrees()))
     app = make_app()
+    metrics = MetricsRegistry() if args.emit_metrics else None
     if args.scheduler == "ligra":
         result = LigraRunner().run(graph, app, source)
     else:
         result = run_app(graph, app, SCHEDULERS[args.scheduler](),
-                         source=source)
+                         source=source, metrics=metrics)
     print(f"{args.app} on {graph} with {result.scheduler_name}"
           + (f" from source {source}" if source is not None else ""))
     print(f"  simulated time   {result.seconds * 1e3:10.4f} ms")
@@ -163,6 +173,28 @@ def cmd_run(args: argparse.Namespace) -> int:
         validate_run(graph, args.app, result.result, source,
                      weights=getattr(app, "weights", None))
         print("  validation: results match the reference implementation")
+    if args.emit_metrics:
+        assert metrics is not None
+        # The registry mirrors the run's profiler exactly (the ligra
+        # path has no pipeline instrumentation, so fold it here; the
+        # snapshot semantics make this a no-op for instrumented paths).
+        metrics.fold_profiler(result.profiler)
+        metrics.set_gauge("run.simulated_seconds", result.seconds)
+        metrics.set_gauge("run.gteps", result.gteps)
+        out = write_json(metrics, args.emit_metrics)
+        print(f"  metrics exported to {out}")
+    return 0
+
+
+def cmd_report(args: argparse.Namespace) -> int:
+    with open(args.path, encoding="utf-8") as handle:
+        report = report_from_json(handle.read())
+    try:
+        print(format_report(report))
+    except BrokenPipeError:
+        # Downstream pager/head closed early — not an error.  Point
+        # stdout at devnull so the interpreter's exit flush stays quiet.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
     return 0
 
 
@@ -240,7 +272,15 @@ def build_parser() -> argparse.ArgumentParser:
                    help="print simulator counters after the run")
     p.add_argument("--validate", action="store_true",
                    help="check results against the reference oracle")
+    p.add_argument("--emit-metrics", metavar="PATH", default=None,
+                   help="write the hierarchical span/metrics JSON here")
     p.set_defaults(fn=cmd_run)
+
+    p = sub.add_parser(
+        "report", help="pretty-print an --emit-metrics JSON file"
+    )
+    p.add_argument("path", help="metrics JSON written by --emit-metrics")
+    p.set_defaults(fn=cmd_report)
 
     p = sub.add_parser("reorder", help="apply a reordering method")
     _add_graph_args(p)

@@ -102,6 +102,7 @@ class SageScheduler(Scheduler):
                 self.spec,
                 threshold_edges=threshold,
                 seed=self.reorder_seed,
+                metrics=self.metrics,
             )
         else:
             self._reorderer = None
@@ -177,6 +178,10 @@ class SageScheduler(Scheduler):
                 + total_tiles * TILE_CONSUME_CYCLES
                 + decomp.fragment_frontier_idx.size * FRAGMENT_SETUP_CYCLES
             )
+            self.metrics.count("sage.tiles", total_tiles)
+            self.metrics.count("sage.tiles_expanded", new_tiles)
+            self.metrics.count("sage.tiles_stolen_resident",
+                               max(0, total_tiles - new_tiles))
             extra_bytes = float(new_tiles * TILE_RECORD_BYTES)
             placement = even_placement(issued, spec.num_sms)
             device_warp_cap = spec.num_sms * spec.max_resident_warps_per_sm
@@ -190,6 +195,8 @@ class SageScheduler(Scheduler):
                 + num_blocks * decomp.levels * PARTITION_CYCLES
                 + decomp.fragment_frontier_idx.size * FRAGMENT_SETUP_CYCLES
             )
+            self.metrics.count("sage.tiles", total_tiles)
+            self.metrics.count("sage.elections", decomp.elections)
             extra_bytes = 0.0
             per_block = self._per_block_lane_cycles(degrees, spec.block_size)
             placement = block_placement(per_block, spec.num_sms)

@@ -24,8 +24,10 @@ from repro.core.frontier import FrontierQueue
 from repro.core.scheduler import Scheduler
 from repro.errors import ConvergenceError
 from repro.graph.csr import CSRGraph
+from repro.gpusim.cost import KernelTiming
 from repro.gpusim.device import Device
 from repro.gpusim.profiler import Profiler
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass
@@ -68,11 +70,27 @@ class TraversalPipeline:
         device: Device | None = None,
         *,
         max_iterations: int = 100_000,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         self.graph = graph
         self.scheduler = scheduler
         self.device = device or Device(scheduler.spec)
         self.max_iterations = max_iterations
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+
+    def _timed_kernel(
+        self, device: Device, stats, span_name: str, **attrs
+    ) -> KernelTiming:
+        """Run one kernel under a leaf span carrying its cost breakdown."""
+        with self.metrics.span(span_name, **attrs) as sp:
+            timing = device.run_kernel(stats)
+            sp.set("cycles", timing.cycles)
+            sp.set("compute_cycles", timing.compute_cycles)
+            sp.set("memory_cycles", timing.memory_cycles)
+            sp.set("overhead_cycles", timing.overhead_cycles)
+            sp.set("launch_cycles", timing.launch_cycles)
+            sp.set("dram_bytes", timing.dram_bytes)
+        return timing
 
     def run(self, app: App, source: int | None = None) -> RunResult:
         """Execute ``app`` to convergence and return timing + results.
@@ -83,52 +101,84 @@ class TraversalPipeline:
         graph = self.graph
         scheduler = self.scheduler
         device = self.device
+        metrics = self.metrics
         start_seconds = device.elapsed_seconds
         start_profile = device.profiler
 
-        app.setup(graph, source)
-        scheduler.reset(graph)
-        queue = FrontierQueue(app.initial_frontier())
-        # total_perm maps original ids -> current ids across all commits.
-        total_perm: np.ndarray | None = None
-        edges_traversed = 0
-        iterations = 0
-        commits = 0
+        with metrics.span(
+            "run", app=app.name, scheduler=scheduler.name,
+        ) as run_span:
+            app.setup(graph, source)
+            scheduler.set_metrics(metrics)
+            scheduler.reset(graph)
+            queue = FrontierQueue(app.initial_frontier())
+            # total_perm maps original ids -> current ids across commits.
+            total_perm: np.ndarray | None = None
+            edges_traversed = 0
+            iterations = 0
+            commits = 0
 
-        while not queue.empty:
-            if iterations >= self.max_iterations:
-                raise ConvergenceError(
-                    f"{app.name} exceeded {self.max_iterations} iterations"
-                )
-            frontier = queue.current
-            edge_src, edge_dst, edge_pos = graph.expand_frontier(frontier)
-            degrees = graph.offsets[frontier + 1] - graph.offsets[frontier]
-            stats = scheduler.kernel_stats(
-                frontier, degrees, edge_dst, graph, app
-            )
-            device.run_kernel(stats)
-            edges_traversed += int(edge_dst.size)
-            next_frontier = app.process_level(
-                edge_src, edge_dst,
-                edge_pos if app.needs_edge_positions else None,
-            )
-            queue.publish_next(next_frontier)
-            queue.swap()
-            iterations += 1
+            while not queue.empty:
+                if iterations >= self.max_iterations:
+                    raise ConvergenceError(
+                        f"{app.name} exceeded "
+                        f"{self.max_iterations} iterations"
+                    )
+                frontier = queue.current
+                with metrics.span(
+                    "iteration", index=iterations,
+                    frontier_size=int(frontier.size),
+                ) as it_span:
+                    edge_src, edge_dst, edge_pos = graph.expand_frontier(
+                        frontier
+                    )
+                    degrees = (graph.offsets[frontier + 1]
+                               - graph.offsets[frontier])
+                    stats = scheduler.kernel_stats(
+                        frontier, degrees, edge_dst, graph, app
+                    )
+                    timing = self._timed_kernel(
+                        device, stats, "kernel", kind="expand-filter",
+                    )
+                    it_span.set("active_edges", int(edge_dst.size))
+                    it_span.set("kernel_cycles", timing.cycles)
+                    edges_traversed += int(edge_dst.size)
+                    next_frontier = app.process_level(
+                        edge_src, edge_dst,
+                        edge_pos if app.needs_edge_positions else None,
+                    )
+                    queue.publish_next(next_frontier)
+                    queue.swap()
+                    iterations += 1
 
-            commit = scheduler.post_level(graph)
-            if commit is not None:
-                device.run_kernel(commit.update_stats)
-                graph = graph.permute(commit.perm)
-                app.graph = graph
-                app.remap_nodes(commit.perm)
-                queue.remap(commit.perm)
-                scheduler.notify_reordered(commit.perm)
-                total_perm = (
-                    commit.perm if total_perm is None
-                    else commit.perm[total_perm]
-                )
-                commits += 1
+                    commit = scheduler.post_level(graph)
+                    if commit is not None:
+                        update = self._timed_kernel(
+                            device, commit.update_stats,
+                            "kernel", kind="reorder-update",
+                        )
+                        it_span.set("reorder_cycles", update.cycles)
+                        graph = graph.permute(commit.perm)
+                        app.graph = graph
+                        app.remap_nodes(commit.perm)
+                        queue.remap(commit.perm)
+                        scheduler.notify_reordered(commit.perm)
+                        total_perm = (
+                            commit.perm if total_perm is None
+                            else commit.perm[total_perm]
+                        )
+                        commits += 1
+                        metrics.count("pipeline.reorder_commits")
+
+            run_span.set("iterations", iterations)
+            run_span.set("edges_traversed", edges_traversed)
+            run_span.set(
+                "simulated_seconds", device.elapsed_seconds - start_seconds
+            )
+            metrics.count("pipeline.runs")
+            metrics.count("pipeline.iterations", iterations)
+            metrics.count("pipeline.edges_traversed", edges_traversed)
+            metrics.fold_profiler(device.profiler)
 
         self.graph = graph
         results = app.result()
@@ -173,7 +223,8 @@ def run_app(
     source: int | None = None,
     *,
     device: Device | None = None,
+    metrics: MetricsRegistry | None = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`TraversalPipeline`."""
-    pipeline = TraversalPipeline(graph, scheduler, device)
+    pipeline = TraversalPipeline(graph, scheduler, device, metrics=metrics)
     return pipeline.run(app, source)

@@ -33,6 +33,7 @@ from repro.core.sampling import TileAccessSampler
 from repro.errors import InvalidParameterError
 from repro.gpusim.cost import KernelStats, even_placement
 from repro.gpusim.spec import GPUSpec
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 
 @dataclass(frozen=True)
@@ -68,11 +69,13 @@ class SamplingReorderer:
         tile_sample_rate: float = 0.75,
         min_gain: int = 4,
         seed: int = 0,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_nodes < 1:
             raise InvalidParameterError("num_nodes must be >= 1")
         if min_gain < 0:
             raise InvalidParameterError("min_gain must be >= 0")
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.spec = spec or GPUSpec()
         self.num_nodes = num_nodes
         self.threshold_edges = threshold_edges
@@ -152,6 +155,9 @@ class SamplingReorderer:
         moved = int(np.count_nonzero(perm != ids))
         pairs = int(u.size)
         self._finish_round()
+        self.metrics.count("reorder.moved_nodes", moved)
+        self.metrics.count("reorder.sampled_pairs", pairs)
+        self.metrics.count("reorder.sampled_tiles", sampled_tiles)
         return RoundOutcome(perm, moved, sampled_tiles, pairs)
 
     def _binary_search_sectors(
@@ -196,6 +202,7 @@ class SamplingReorderer:
     def _finish_round(self) -> None:
         self.sampler.reset()
         self.rounds_completed += 1
+        self.metrics.count("reorder.rounds")
 
     # ------------------------------------------------------------------
     # Cost accounting

@@ -21,6 +21,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.cost import KernelStats
 from repro.gpusim.memory import coalesced_sectors, segmented_distinct_sectors
 from repro.gpusim.spec import GPUSpec
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 #: Fraction of duplicate-address atomic updates that serialize, for
 #: atomic-aggregation apps (BC/PR, Section 7.2).
@@ -48,6 +49,13 @@ class Scheduler(ABC):
 
     def __init__(self, spec: GPUSpec | None = None) -> None:
         self.spec = spec or GPUSpec()
+        self.metrics: MetricsRegistry = NULL_REGISTRY
+
+    def set_metrics(self, metrics: MetricsRegistry | None) -> None:
+        """Attach the run's observability registry (pipelines call this
+        before :meth:`reset`; the default sink is the disabled registry,
+        so scheduler instrumentation is unconditional and zero-cost)."""
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
 
     def reset(self, graph: CSRGraph) -> None:
         """Called once before a run; clears any per-run state."""

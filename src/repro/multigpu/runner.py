@@ -27,6 +27,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.gpusim.profiler import Profiler
 from repro.gpusim.spec import LinkSpec, NVLINK2
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 #: bulk-synchronous barrier cost per iteration (all-device sync).
 SYNC_BARRIER_US = 1.5
@@ -48,6 +49,7 @@ class MultiGpuRunner:
         link: LinkSpec = NVLINK2,
         async_mode: bool = False,
         name: str | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if num_gpus < 1:
             raise InvalidParameterError("num_gpus must be >= 1")
@@ -57,7 +59,17 @@ class MultiGpuRunner:
         self.num_gpus = num_gpus
         self.link = link
         self.async_mode = async_mode
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # Each simulated GPU reports into its own registry — mirroring a
+        # per-device collector in a real deployment — and the per-device
+        # registries are merged into the run registry under gpu<i>.*.
+        self.device_metrics = [
+            MetricsRegistry(enabled=self.metrics.enabled)
+            for _ in range(num_gpus)
+        ]
         self.schedulers = [scheduler_factory() for _ in range(num_gpus)]
+        for scheduler, registry in zip(self.schedulers, self.device_metrics):
+            scheduler.set_metrics(registry)
         self.devices = [Device(s.spec) for s in self.schedulers]
         base = self.schedulers[0].name
         self.name = name or f"{base}-x{num_gpus}"
@@ -71,8 +83,10 @@ class MultiGpuRunner:
         max_iterations: int = 100_000,
     ) -> RunResult:
         """Execute ``app`` across the GPUs; returns makespan timing."""
+        metrics = self.metrics
         app.setup(graph, source)
-        for scheduler in self.schedulers:
+        for scheduler, registry in zip(self.schedulers, self.device_metrics):
+            scheduler.set_metrics(registry)
             scheduler.reset(graph)
         queue = FrontierQueue(app.initial_frontier())
         seconds = 0.0
@@ -80,73 +94,106 @@ class MultiGpuRunner:
         edges_traversed = 0
         messages = 0
         iterations = 0
-        while not queue.empty:
-            if iterations >= max_iterations:
-                raise ConvergenceError(
-                    f"{app.name} exceeded {max_iterations} iterations"
+        run_span = metrics.span(
+            "multigpu.run", runner=self.name, app=app.name,
+            num_gpus=self.num_gpus, async_mode=self.async_mode,
+        )
+        with run_span:
+            while not queue.empty:
+                if iterations >= max_iterations:
+                    raise ConvergenceError(
+                        f"{app.name} exceeded {max_iterations} iterations"
+                    )
+                frontier = queue.current
+                owners = self.assignment[frontier]
+                gpu_seconds = np.zeros(self.num_gpus)
+                all_src: list[np.ndarray] = []
+                all_dst: list[np.ndarray] = []
+                all_pos: list[np.ndarray] = []
+                remote_updates = 0
+                it_span = metrics.span(
+                    "iteration", index=iterations,
+                    frontier_size=int(frontier.size),
                 )
-            frontier = queue.current
-            owners = self.assignment[frontier]
-            gpu_seconds = np.zeros(self.num_gpus)
-            all_src: list[np.ndarray] = []
-            all_dst: list[np.ndarray] = []
-            all_pos: list[np.ndarray] = []
-            remote_updates = 0
-            for gpu in range(self.num_gpus):
-                local = frontier[owners == gpu]
-                if local.size == 0:
-                    continue
-                edge_src, edge_dst, edge_pos = graph.expand_frontier(local)
-                degrees = graph.offsets[local + 1] - graph.offsets[local]
-                stats = self.schedulers[gpu].kernel_stats(
-                    local, degrees, edge_dst, graph, app
-                )
-                timing = self.devices[gpu].run_kernel(stats)
-                gpu_seconds[gpu] = self.devices[gpu].spec.cycles_to_seconds(
-                    timing.cycles
-                )
-                remote = edge_dst[self.assignment[edge_dst] != gpu]
-                # Engines aggregate frontier updates per node before
-                # shipping: a remote node is announced once, not once
-                # per incoming edge.
-                remote_updates += int(np.unique(remote).size)
-                all_src.append(edge_src)
-                all_dst.append(edge_dst)
-                all_pos.append(edge_pos)
-                edges_traversed += int(edge_dst.size)
-            if all_src:
-                edge_src = np.concatenate(all_src)
-                edge_dst = np.concatenate(all_dst)
-                edge_pos = np.concatenate(all_pos)
-            else:
-                edge_src = edge_dst = edge_pos = np.empty(0, dtype=np.int64)
+                with it_span:
+                    for gpu in range(self.num_gpus):
+                        local = frontier[owners == gpu]
+                        if local.size == 0:
+                            continue
+                        edge_src, edge_dst, edge_pos = (
+                            graph.expand_frontier(local)
+                        )
+                        degrees = (graph.offsets[local + 1]
+                                   - graph.offsets[local])
+                        stats = self.schedulers[gpu].kernel_stats(
+                            local, degrees, edge_dst, graph, app
+                        )
+                        with metrics.span("kernel", gpu=gpu) as k_span:
+                            timing = self.devices[gpu].run_kernel(stats)
+                            k_span.set("cycles", timing.cycles)
+                            k_span.set("dram_bytes", timing.dram_bytes)
+                        spec = self.devices[gpu].spec
+                        gpu_seconds[gpu] = spec.cycles_to_seconds(
+                            timing.cycles
+                        )
+                        remote = edge_dst[self.assignment[edge_dst] != gpu]
+                        # Engines aggregate frontier updates per node
+                        # before shipping: a remote node is announced
+                        # once, not once per incoming edge.
+                        remote_updates += int(np.unique(remote).size)
+                        all_src.append(edge_src)
+                        all_dst.append(edge_dst)
+                        all_pos.append(edge_pos)
+                        edges_traversed += int(edge_dst.size)
+                    if all_src:
+                        edge_src = np.concatenate(all_src)
+                        edge_dst = np.concatenate(all_dst)
+                        edge_pos = np.concatenate(all_pos)
+                    else:
+                        edge_src = edge_dst = edge_pos = np.empty(
+                            0, dtype=np.int64
+                        )
 
-            exchange = self._exchange_seconds(remote_updates)
-            if self.async_mode:
-                # Asynchronous engines overlap communication with the
-                # slowest device's compute.
-                iter_seconds = max(float(gpu_seconds.max(initial=0.0)),
-                                   exchange) + ASYNC_COORD_US * 1e-6
-            else:
-                iter_seconds = (
-                    float(gpu_seconds.max(initial=0.0)) + exchange
-                    + (SYNC_BARRIER_US * 1e-6 if self.num_gpus > 1 else 0.0)
-                )
-            seconds += iter_seconds
-            comm_seconds += exchange
-            messages += remote_updates
+                    exchange = self._exchange_seconds(remote_updates)
+                    if self.async_mode:
+                        # Asynchronous engines overlap communication with
+                        # the slowest device's compute.
+                        iter_seconds = max(
+                            float(gpu_seconds.max(initial=0.0)), exchange
+                        ) + ASYNC_COORD_US * 1e-6
+                    else:
+                        iter_seconds = (
+                            float(gpu_seconds.max(initial=0.0)) + exchange
+                            + (SYNC_BARRIER_US * 1e-6
+                               if self.num_gpus > 1 else 0.0)
+                        )
+                    it_span.set("exchange_seconds", exchange)
+                    it_span.set("remote_updates", remote_updates)
+                    seconds += iter_seconds
+                    comm_seconds += exchange
+                    messages += remote_updates
 
-            next_frontier = app.process_level(
-                edge_src, edge_dst,
-                edge_pos if app.needs_edge_positions else None,
-            )
-            queue.publish_next(next_frontier)
-            queue.swap()
-            iterations += 1
+                    next_frontier = app.process_level(
+                        edge_src, edge_dst,
+                        edge_pos if app.needs_edge_positions else None,
+                    )
+                    queue.publish_next(next_frontier)
+                    queue.swap()
+                    iterations += 1
+
+            run_span.set("simulated_seconds", seconds)
+            run_span.set("comm_seconds", comm_seconds)
+            metrics.count("multigpu.messages", messages)
+            metrics.count("multigpu.comm_seconds", comm_seconds)
+            metrics.count("multigpu.iterations", iterations)
 
         profiler = Profiler()
-        for device in self.devices:
+        for gpu, device in enumerate(self.devices):
             profiler = profiler.merged_with(device.profiler)
+            self.device_metrics[gpu].fold_profiler(device.profiler)
+            metrics.merge(self.device_metrics[gpu], prefix=f"gpu{gpu}.")
+            self.device_metrics[gpu].reset()
+        metrics.fold_profiler(profiler)
         result = RunResult(
             app_name=app.name,
             scheduler_name=self.name,

@@ -1,0 +1,127 @@
+"""Nestable span timers — the tracing half of :mod:`repro.obs`.
+
+A :class:`Span` measures one named region of a run (a pipeline run, an
+iteration, a kernel) and carries two kinds of data:
+
+* **attributes** — identifying tags fixed at creation (app name, GPU id,
+  iteration index),
+* **values** — measurements attached while the span is open (simulated
+  cycles, transferred bytes), via :meth:`Span.set` / :meth:`Span.add`.
+
+Spans nest through the context-manager protocol: entering a span pushes
+it on the owning registry's *per-thread* stack, so concurrently running
+threads each build their own tree and never contend except when a
+finished root is published.  Wall time comes from ``perf_counter``;
+simulated time is attached explicitly as a value, keeping the two clocks
+(host vs modeled GPU) separate in reports.
+
+Exception safety: a span that exits through an exception still closes,
+records ``error`` in its attributes and re-raises — an aborted traversal
+leaves a readable partial trace instead of a corrupted stack.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import TYPE_CHECKING, Any
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.obs.registry import MetricsRegistry
+
+
+class Span:
+    """One timed, attributed region of a run."""
+
+    __slots__ = (
+        "name", "attributes", "values", "children",
+        "duration_s", "_registry", "_start",
+    )
+
+    def __init__(
+        self, registry: "MetricsRegistry", name: str,
+        attributes: dict[str, Any],
+    ) -> None:
+        self.name = name
+        self.attributes = attributes
+        self.values: dict[str, float] = {}
+        self.children: list[Span] = []
+        self.duration_s = 0.0
+        self._registry = registry
+        self._start = 0.0
+
+    # -- measurement ---------------------------------------------------
+
+    def set(self, key: str, value: float) -> None:
+        """Attach (or overwrite) one measurement on this span."""
+        self.values[key] = float(value)
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        """Accumulate into one measurement on this span."""
+        self.values[key] = self.values.get(key, 0.0) + float(amount)
+
+    # -- context manager -----------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self._registry._open_span(self)
+        self._start = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.duration_s = time.perf_counter() - self._start
+        if exc is not None:
+            self.attributes["error"] = f"{exc_type.__name__}: {exc}"
+        self._registry._close_span(self)
+        return False  # never swallow
+
+    # -- serialization -------------------------------------------------
+
+    def to_dict(self) -> dict[str, Any]:
+        """Plain-dict view (JSON-ready), recursing into children."""
+        return {
+            "name": self.name,
+            "attributes": dict(self.attributes),
+            "values": dict(self.values),
+            "duration_s": self.duration_s,
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    def walk(self, _path: str = "") -> "list[tuple[str, Span]]":
+        """Depth-first ``(path, span)`` pairs; paths are ``/``-joined."""
+        path = f"{_path}/{self.name}" if _path else self.name
+        out: list[tuple[str, Span]] = [(path, self)]
+        for child in self.children:
+            out.extend(child.walk(path))
+        return out
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Span({self.name!r}, {self.duration_s * 1e3:.3f} ms, "
+            f"{len(self.children)} children)"
+        )
+
+
+class NullSpan:
+    """Shared no-op span handed out by disabled registries.
+
+    A single module-level instance (:data:`NULL_SPAN`) serves every
+    call site, so the disabled path allocates nothing and costs one
+    attribute lookup plus a method call — the "zero-cost when disabled"
+    contract instrumented code relies on.
+    """
+
+    __slots__ = ()
+
+    def set(self, key: str, value: float) -> None:
+        pass
+
+    def add(self, key: str, amount: float = 1.0) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        return False
+
+
+NULL_SPAN = NullSpan()

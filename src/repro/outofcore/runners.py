@@ -36,6 +36,7 @@ from repro.errors import ConvergenceError, InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.gpusim.spec import GPUSpec, LinkSpec, PCIE3_X16
+from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.outofcore.layout import GraphLayout, layout_for
 from repro.outofcore.pool import SectorPool, contiguous_runs
 
@@ -60,12 +61,14 @@ class _OutOfCoreBase:
         *,
         device_fraction: float = 0.25,
         link: LinkSpec = PCIE3_X16,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not 0.0 < device_fraction <= 1.0:
             raise InvalidParameterError("device_fraction must be in (0, 1]")
         self.scheduler = scheduler
         self.device_fraction = device_fraction
         self.link = link
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self.transfer_seconds_total = 0.0
         self.bytes_transferred = 0
         self.requests_issued = 0
@@ -79,45 +82,78 @@ class _OutOfCoreBase:
         max_iterations: int = 100_000,
     ) -> RunResult:
         """Run ``app`` out-of-core and return timing including transfers."""
+        metrics = self.metrics
         device = Device(self.scheduler.spec)
         layout = layout_for(graph, self.scheduler.spec)
-        self._start(graph, layout)
-        app.setup(graph, source)
-        self.scheduler.reset(graph)
-        queue = FrontierQueue(app.initial_frontier())
-        seconds = 0.0
-        edges_traversed = 0
-        iterations = 0
-        self.transfer_seconds_total = 0.0
-        self.bytes_transferred = 0
-        self.requests_issued = 0
-        while not queue.empty:
-            if iterations >= max_iterations:
-                raise ConvergenceError(
-                    f"{app.name} exceeded {max_iterations} iterations"
-                )
-            frontier = queue.current
-            edge_src, edge_dst, edge_pos = graph.expand_frontier(frontier)
-            degrees = graph.offsets[frontier + 1] - graph.offsets[frontier]
-            stats = self.scheduler.kernel_stats(
-                frontier, degrees, edge_dst, graph, app
-            )
-            kernel_seconds = device.spec.cycles_to_seconds(
-                device.cost_model.time_kernel(stats).cycles
-            )
-            iter_seconds = self._iteration_seconds(
-                kernel_seconds, frontier, edge_dst, edge_pos, layout
-            )
-            device.profiler.record(stats, device.cost_model.time_kernel(stats))
-            seconds += iter_seconds
-            edges_traversed += int(edge_dst.size)
-            next_frontier = app.process_level(
-                edge_src, edge_dst,
-                edge_pos if app.needs_edge_positions else None,
-            )
-            queue.publish_next(next_frontier)
-            queue.swap()
-            iterations += 1
+        with metrics.span(
+            "ooc.run", runner=self.name, app=app.name,
+            device_fraction=self.device_fraction,
+        ) as run_span:
+            self._start(graph, layout)
+            app.setup(graph, source)
+            self.scheduler.set_metrics(metrics)
+            self.scheduler.reset(graph)
+            queue = FrontierQueue(app.initial_frontier())
+            seconds = 0.0
+            edges_traversed = 0
+            iterations = 0
+            self.transfer_seconds_total = 0.0
+            self.bytes_transferred = 0
+            self.requests_issued = 0
+            while not queue.empty:
+                if iterations >= max_iterations:
+                    raise ConvergenceError(
+                        f"{app.name} exceeded {max_iterations} iterations"
+                    )
+                frontier = queue.current
+                with metrics.span(
+                    "iteration", index=iterations,
+                    frontier_size=int(frontier.size),
+                ) as it_span:
+                    edge_src, edge_dst, edge_pos = graph.expand_frontier(
+                        frontier
+                    )
+                    degrees = (graph.offsets[frontier + 1]
+                               - graph.offsets[frontier])
+                    stats = self.scheduler.kernel_stats(
+                        frontier, degrees, edge_dst, graph, app
+                    )
+                    kernel_seconds = device.spec.cycles_to_seconds(
+                        device.cost_model.time_kernel(stats).cycles
+                    )
+                    bytes_before = self.bytes_transferred
+                    transfer_before = self.transfer_seconds_total
+                    iter_seconds = self._iteration_seconds(
+                        kernel_seconds, frontier, edge_dst, edge_pos, layout
+                    )
+                    device.profiler.record(
+                        stats, device.cost_model.time_kernel(stats)
+                    )
+                    it_span.set("kernel_seconds", kernel_seconds)
+                    it_span.set("iteration_seconds", iter_seconds)
+                    it_span.set(
+                        "transfer_bytes",
+                        self.bytes_transferred - bytes_before,
+                    )
+                    it_span.set(
+                        "transfer_seconds",
+                        self.transfer_seconds_total - transfer_before,
+                    )
+                    seconds += iter_seconds
+                    edges_traversed += int(edge_dst.size)
+                    next_frontier = app.process_level(
+                        edge_src, edge_dst,
+                        edge_pos if app.needs_edge_positions else None,
+                    )
+                    queue.publish_next(next_frontier)
+                    queue.swap()
+                    iterations += 1
+            run_span.set("simulated_seconds", seconds)
+            run_span.set("transfer_seconds", self.transfer_seconds_total)
+            metrics.count("ooc.bytes_transferred", self.bytes_transferred)
+            metrics.count("ooc.requests", self.requests_issued)
+            metrics.count("ooc.transfer_seconds", self.transfer_seconds_total)
+            metrics.fold_profiler(device.profiler)
         result = RunResult(
             app_name=app.name,
             scheduler_name=self.name,
@@ -159,9 +195,11 @@ class SubwayRunner(_OutOfCoreBase):
         *,
         device_fraction: float = 0.25,
         link: LinkSpec = PCIE3_X16,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(
-            GunrockScheduler(spec), device_fraction=device_fraction, link=link
+            GunrockScheduler(spec), device_fraction=device_fraction,
+            link=link, metrics=metrics,
         )
 
     def _iteration_seconds(
@@ -200,11 +238,13 @@ class SageOutOfCoreRunner(_OutOfCoreBase):
         device_fraction: float = 0.25,
         link: LinkSpec = PCIE3_X16,
         scheduler: Scheduler | None = None,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(
             scheduler or SageScheduler(spec),
             device_fraction=device_fraction,
             link=link,
+            metrics=metrics,
         )
         self._pool: SectorPool | None = None
 
@@ -261,10 +301,11 @@ class OnDemandUMRunner(SageOutOfCoreRunner):
         *,
         device_fraction: float = 0.25,
         link: LinkSpec = PCIE3_X16,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         super().__init__(
             spec, device_fraction=device_fraction, link=link,
-            scheduler=GunrockScheduler(spec),
+            scheduler=GunrockScheduler(spec), metrics=metrics,
         )
 
     def _pool_units(self, layout: GraphLayout) -> int:

@@ -1,0 +1,252 @@
+"""Cross-layer observability integration tests.
+
+The contract under test: one run yields one hierarchical report whose
+kernel-level totals match the simulator's :class:`Profiler` *exactly* —
+the registry is a view over the same accounting, never a second
+bookkeeper that can drift.  Covers the pipeline, the out-of-core and
+multi-GPU runners, the CLI ``--emit-metrics`` golden path, and the
+perf-trajectory harness CI gates on.
+"""
+
+import importlib.util
+import json
+import pathlib
+
+import numpy as np
+import pytest
+
+from repro import cli
+from repro.apps import BFSApp, PageRankApp
+from repro.core import SageScheduler, run_app
+from repro.graph import datasets
+from repro.multigpu import MultiGpuRunner, chunk_partition
+from repro.obs import (
+    NULL_REGISTRY,
+    PROFILER_COUNTER_FIELDS,
+    MetricsRegistry,
+    report_from_json,
+)
+from repro.outofcore.runners import SageOutOfCoreRunner
+
+BENCH_DIR = pathlib.Path(__file__).resolve().parent.parent / "benchmarks"
+
+
+def load_bench_trajectory():
+    spec = importlib.util.spec_from_file_location(
+        "bench_trajectory", BENCH_DIR / "bench_trajectory.py"
+    )
+    module = importlib.util.module_from_spec(spec)
+    spec.loader.exec_module(module)
+    return module
+
+
+class TestPipelineInstrumentation:
+    def test_kernel_totals_match_profiler_exactly(self, skewed_graph):
+        metrics = MetricsRegistry()
+        result = run_app(
+            skewed_graph, BFSApp(), SageScheduler(), source=0,
+            metrics=metrics,
+        )
+        profiler = result.profiler
+        for name in PROFILER_COUNTER_FIELDS:
+            assert metrics.counters[f"gpusim.{name}"] == float(
+                getattr(profiler, name)
+            ), name
+        # The span tree carries the same cycles, kernel by kernel.
+        run_span = metrics.roots[0]
+        kernel_cycles = sum(
+            span.values["cycles"]
+            for _, span in run_span.walk()
+            if span.name == "kernel"
+        )
+        assert kernel_cycles == pytest.approx(profiler.total_cycles)
+
+    def test_span_hierarchy_shape(self, skewed_graph):
+        metrics = MetricsRegistry()
+        result = run_app(
+            skewed_graph, BFSApp(), SageScheduler(), source=0,
+            metrics=metrics,
+        )
+        run_span = metrics.roots[0]
+        assert run_span.name == "run"
+        assert run_span.attributes["app"] == "bfs"
+        iterations = [
+            child for child in run_span.children
+            if child.name == "iteration"
+        ]
+        assert len(iterations) == result.iterations
+        assert all(
+            any(kernel.name == "kernel" for kernel in it.children)
+            for it in iterations
+        )
+
+    def test_disabled_registry_changes_nothing(self, skewed_graph):
+        observed = run_app(
+            skewed_graph, BFSApp(), SageScheduler(), source=0,
+            metrics=MetricsRegistry(),
+        )
+        plain = run_app(
+            skewed_graph, BFSApp(), SageScheduler(), source=0,
+            metrics=None,
+        )
+        np.testing.assert_array_equal(
+            observed.result["dist"], plain.result["dist"]
+        )
+        assert observed.seconds == pytest.approx(plain.seconds)
+        assert NULL_REGISTRY.roots == []
+
+    def test_scheduler_counters_recorded(self, skewed_graph):
+        metrics = MetricsRegistry()
+        run_app(
+            skewed_graph, BFSApp(), SageScheduler(), source=0,
+            metrics=metrics,
+        )
+        assert metrics.counters["sage.tiles"] > 0
+        assert (
+            metrics.counters["sage.tiles_expanded"]
+            + metrics.counters["sage.tiles_stolen_resident"]
+            == metrics.counters["sage.tiles"]
+        )
+
+
+class TestOutOfCoreInstrumentation:
+    def test_transfer_counters_match_extras(self, skewed_graph):
+        metrics = MetricsRegistry()
+        runner = SageOutOfCoreRunner(device_fraction=0.3, metrics=metrics)
+        result = runner.run(skewed_graph, BFSApp(), 0)
+        assert metrics.counters["ooc.bytes_transferred"] == result.extras[
+            "bytes_transferred"
+        ]
+        assert metrics.counters["ooc.requests"] == result.extras["requests"]
+        assert metrics.counters["gpusim.kernels"] == float(
+            result.profiler.kernels
+        )
+        run_span = metrics.roots[-1]
+        assert run_span.name == "ooc.run"
+        per_iter = sum(
+            span.values["transfer_bytes"]
+            for _, span in run_span.walk()
+            if span.name == "iteration"
+        )
+        assert per_iter == result.extras["bytes_transferred"]
+
+
+class TestMultiGpuRegistryMerge:
+    def test_merged_counters_match_merged_profiler(self, skewed_graph):
+        metrics = MetricsRegistry()
+        runner = MultiGpuRunner(
+            SageScheduler,
+            chunk_partition(skewed_graph.num_nodes, 2),
+            num_gpus=2,
+            metrics=metrics,
+        )
+        result = runner.run(skewed_graph, BFSApp(), 0)
+        merged = result.profiler
+        # The per-device registries were folded and merged under gpu<i>.*
+        per_gpu = [
+            metrics.counters.get(f"gpu{gpu}.gpusim.total_cycles", 0.0)
+            for gpu in range(2)
+        ]
+        assert sum(per_gpu) == pytest.approx(merged.total_cycles)
+        assert all(cycles > 0 for cycles in per_gpu)
+        # ... and the combined leaf fold matches the merged profiler.
+        for name in PROFILER_COUNTER_FIELDS:
+            assert metrics.counters[f"gpusim.{name}"] == float(
+                getattr(merged, name)
+            ), name
+        assert metrics.counters["multigpu.iterations"] == result.iterations
+
+
+class TestCliGolden:
+    """``repro run --emit-metrics`` exports the gpusim counters that
+    tests/test_scheduler_accounting.py pins at the scheduler level."""
+
+    ARGS = ["--dataset", "twitter", "--scale", "0.05", "--app", "bfs"]
+
+    def test_emit_metrics_matches_equivalent_run(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        rc = cli.main(
+            ["run", *self.ARGS, "--emit-metrics", str(out)]
+        )
+        assert rc == 0
+        assert "metrics exported" in capsys.readouterr().out
+        report = report_from_json(out.read_text(encoding="utf-8"))
+
+        # Re-run the identical (fully deterministic) configuration
+        # through the API and demand exact counter equality.
+        graph = datasets.by_name("twitter", 0.05).graph
+        source = int(np.argmax(graph.out_degrees()))
+        result = run_app(graph, BFSApp(), SageScheduler(), source=source)
+        profiler = result.profiler
+        counters = report["counters"]
+        for name in PROFILER_COUNTER_FIELDS:
+            assert counters[f"gpusim.{name}"] == float(
+                getattr(profiler, name)
+            ), name
+        # The identities the accounting tests rely on hold in the export.
+        assert counters["gpusim.active_edges"] <= counters[
+            "gpusim.issued_lane_cycles"
+        ]
+        assert report["gauges"]["gpusim.lane_efficiency"] == pytest.approx(
+            counters["gpusim.active_edges"]
+            / counters["gpusim.issued_lane_cycles"]
+        )
+        assert counters["pipeline.iterations"] == result.iterations
+
+    def test_report_subcommand_renders(self, tmp_path, capsys):
+        out = tmp_path / "metrics.json"
+        cli.main(["run", *self.ARGS, "--emit-metrics", str(out)])
+        capsys.readouterr()
+        rc = cli.main(["report", str(out)])
+        assert rc == 0
+        text = capsys.readouterr().out
+        assert "gpusim.total_cycles" in text
+        assert "run [app=bfs" in text
+
+
+class TestBenchTrajectory:
+    def test_smoke_suite_is_deterministic(self):
+        bench = load_bench_trajectory()
+        first = bench.run_suite(smoke=True)
+        second = bench.run_suite(smoke=True)
+
+        def simulated(payload):
+            # wall_seconds is host timing — informational, never gated.
+            return {
+                name: {k: v for k, v in row.items() if k != "wall_seconds"}
+                for name, row in payload["workloads"].items()
+            }
+
+        assert simulated(first) == simulated(second)
+        assert set(first["workloads"]) == {
+            "bfs_rmat", "pagerank_rmat", "sssp_rmat", "bfs_rmat_outofcore",
+        }
+        for row in first["workloads"].values():
+            for metric in bench.GATED_METRICS:
+                assert row[metric] > 0
+
+    def test_committed_baseline_is_current(self):
+        # The committed BENCH_repro.json must match what this revision
+        # produces — CI's perf gate depends on it being fresh.
+        bench = load_bench_trajectory()
+        baseline_path = BENCH_DIR.parent / "BENCH_repro.json"
+        baseline = json.loads(baseline_path.read_text(encoding="utf-8"))
+        current = bench.run_suite(smoke=True)
+        failures = bench.check_regression(current, baseline, tolerance=0.20)
+        assert failures == []
+
+    def test_gate_detects_regression(self):
+        bench = load_bench_trajectory()
+        current = bench.run_suite(smoke=True)
+        slower = json.loads(json.dumps(current))
+        slower["workloads"]["bfs_rmat"]["total_cycles"] *= 1.5
+        failures = bench.check_regression(slower, current, tolerance=0.20)
+        assert len(failures) == 1
+        assert "bfs_rmat.total_cycles" in failures[0]
+
+    def test_gate_rejects_suite_mismatch(self):
+        bench = load_bench_trajectory()
+        current = bench.run_suite(smoke=True)
+        other = {"suite": "full", "workloads": {}}
+        failures = bench.check_regression(current, other, tolerance=0.20)
+        assert failures and "suite mismatch" in failures[0]
