@@ -15,6 +15,7 @@ import numpy as np
 from repro.apps.base import App
 from repro.core.scheduler import (
     Scheduler,
+    SectorAccounting,
     atomic_conflicts_for,
     csr_gather_sectors,
     value_sector_accounting,
@@ -86,9 +87,11 @@ class B40CScheduler(Scheduler):
         active = int(edge_dst.size)
         chunks = bucket_chunk_sizes(degrees, spec)
         starts, sizes = chunked_segment_starts(degrees, chunks)
+        acct = SectorAccounting(edge_dst, spec.sector_width)
         touches, unique = value_sector_accounting(
             edge_dst, starts, spec,
             presorted=True, access_factor=app.value_access_factor,
+            accounting=acct,
         )
         csr_sectors = csr_gather_sectors(sizes, spec, aligned=False)
 
@@ -121,7 +124,9 @@ class B40CScheduler(Scheduler):
             csr_sector_touches=csr_sectors,
             concurrency_warps=max(1.0, sizes.size / 1.0),
             overhead_cycles=overhead,
-            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            atomic_conflicts=atomic_conflicts_for(
+                app, edge_dst, spec.sector_width, acct
+            ),
             compute_scale=app.edge_compute_factor,
         )
 

@@ -15,6 +15,7 @@ import numpy as np
 from repro.apps.base import App
 from repro.core.scheduler import (
     Scheduler,
+    SectorAccounting,
     atomic_conflicts_for,
     csr_gather_sectors,
     value_sector_accounting,
@@ -45,9 +46,11 @@ class GunrockScheduler(Scheduler):
         spec = self.spec
         active = int(edge_dst.size)
         starts = warp_chunk_starts(active, spec.warp_size)
+        acct = SectorAccounting(edge_dst, spec.sector_width)
         touches, unique = value_sector_accounting(
             edge_dst, starts, spec,
             presorted=False, access_factor=app.value_access_factor,
+            accounting=acct,
         )
         sizes = np.diff(np.append(starts, active)) if starts.size else starts
         csr_sectors = csr_gather_sectors(sizes, spec, aligned=False)
@@ -70,7 +73,9 @@ class GunrockScheduler(Scheduler):
                           spec.num_sms * spec.max_resident_warps_per_sm)),
             ),
             overhead_cycles=overhead,
-            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            atomic_conflicts=atomic_conflicts_for(
+                app, edge_dst, spec.sector_width, acct
+            ),
             compute_scale=app.edge_compute_factor,
         )
 

@@ -28,6 +28,7 @@ from repro.apps.base import App
 from repro.baselines.b40c import chunked_segment_starts
 from repro.core.scheduler import (
     Scheduler,
+    SectorAccounting,
     atomic_conflicts_for,
     value_sector_accounting,
 )
@@ -122,9 +123,11 @@ class TigrScheduler(Scheduler):
         # Virtual nodes of this frontier, each owning <= k edges.
         chunk_sizes = np.minimum(np.maximum(degrees, 1), k)
         starts, sizes = chunked_segment_starts(degrees, chunk_sizes)
+        acct = SectorAccounting(edge_dst, spec.sector_width)
         touches, unique = value_sector_accounting(
             edge_dst, starts, spec,
             presorted=True, access_factor=app.value_access_factor,
+            accounting=acct,
         )
         num_virtual = int(sizes.size)
 
@@ -175,6 +178,8 @@ class TigrScheduler(Scheduler):
             # each virtual copy (two scattered sectors per virtual), on
             # top of the auxiliary virtual-array reads.
             extra_dram_bytes=float(num_virtual * (2 * spec.sector_bytes + 8)),
-            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            atomic_conflicts=atomic_conflicts_for(
+                app, edge_dst, spec.sector_width, acct
+            ),
             compute_scale=app.edge_compute_factor,
         )

@@ -20,6 +20,8 @@ get divided by the SM count (overheads execute in parallel per SM).
 
 from __future__ import annotations
 
+from collections import OrderedDict
+
 import numpy as np
 
 from repro.apps.base import App
@@ -28,13 +30,15 @@ from repro.core.resident import ResidentTileStore, TILE_RECORD_BYTES
 from repro.core.scheduler import (
     ReorderCommit,
     Scheduler,
+    SectorAccounting,
     atomic_conflicts_for,
     csr_gather_sectors,
     value_sector_accounting,
 )
-from repro.core.tiling import DEFAULT_MIN_TILE, decompose_frontier
+from repro.core.tiling import DEFAULT_MIN_TILE, TileDecomposition, decompose_frontier
 from repro.graph.csr import CSRGraph
 from repro.gpusim.cost import KernelStats, block_placement, even_placement
+from repro.gpusim.memory import segmented_distinct_sectors
 from repro.gpusim.spec import GPUSpec
 
 # Scheduling-cost constants (lane-cycles per work item).
@@ -45,6 +49,11 @@ FRAGMENT_SETUP_CYCLES = 8.0  # scan-based gather setup per fragment node
 TILE_WRITE_CYCLES = 6.0     # expandTiles store per new tile (Alg. 3 l.3)
 TILE_CONSUME_CYCLES = 2.0   # popping a resident tile from the global queue
 SAMPLE_CYCLES = 16.0        # Alg. 4 shared-memory counting per sampled tile
+
+#: Distinct frontier degree signatures memoized per scheduler.  Full-frontier
+#: apps (PageRank-style) present the identical degree array every iteration;
+#: traversal apps cycle through a handful of frontiers across BFS levels.
+DECOMP_MEMO_ENTRIES = 8
 
 
 class SageScheduler(Scheduler):
@@ -75,6 +84,13 @@ class SageScheduler(Scheduler):
         self.reorder_seed = reorder_seed
         self._store: ResidentTileStore | None = None
         self._reorderer: SamplingReorderer | None = None
+        self._decomp_memo: OrderedDict[
+            tuple[str, bytes],
+            tuple[TileDecomposition, np.ndarray, np.ndarray, int],
+        ] = OrderedDict()
+        self._edge_memo: OrderedDict[
+            tuple[tuple[str, bytes], bytes], tuple[int, SectorAccounting]
+        ] = OrderedDict()
         self.name = self._build_name()
 
     def _build_name(self) -> str:
@@ -92,6 +108,8 @@ class SageScheduler(Scheduler):
     # ------------------------------------------------------------------
 
     def reset(self, graph: CSRGraph) -> None:
+        self._decomp_memo.clear()
+        self._edge_memo.clear()
         self._store = ResidentTileStore(graph) if self.resident_stealing else None
         if self.sampling_reorder:
             threshold = self.reorder_threshold_edges
@@ -138,6 +156,73 @@ class SageScheduler(Scheduler):
     # Cost accounting
     # ------------------------------------------------------------------
 
+    def _decompose_cached(
+        self, degrees: np.ndarray
+    ) -> tuple[
+        tuple[str, bytes], TileDecomposition, np.ndarray, np.ndarray, int
+    ]:
+        """Decomposition, segment starts, per-node tile counts and CSR
+        gather sectors of one frontier, memoized on its degree signature.
+
+        All four are pure functions of the degree array (block size, min
+        tile and alignment are fixed per scheduler), so repeated frontier
+        degree signatures — every iteration of a full-frontier app — hit
+        the memo instead of recomputing.  Returns the memo key first so
+        :meth:`_edge_accounting` can reuse it.
+        """
+        key = (degrees.dtype.str, degrees.tobytes())
+        cached = self._decomp_memo.get(key)
+        if cached is not None:
+            self._decomp_memo.move_to_end(key)
+            self.metrics.count("sage.decomp_cache_hits")
+            return (key, *cached)
+        decomp = decompose_frontier(degrees, self.spec.block_size, self.min_tile)
+        cum_deg = np.cumsum(degrees) - degrees
+        seg_starts = decomp.segment_starts(cum_deg)
+        tiles_per_node = np.bincount(
+            decomp.tile_frontier_idx, minlength=degrees.size
+        ) + np.bincount(decomp.fragment_frontier_idx, minlength=degrees.size)
+        seg_sizes = np.diff(np.append(seg_starts, int(degrees.sum())))
+        csr_sectors = csr_gather_sectors(
+            seg_sizes, self.spec, aligned=self.tile_alignment
+        )
+        self._decomp_memo[key] = (decomp, seg_starts, tiles_per_node, csr_sectors)
+        if len(self._decomp_memo) > DECOMP_MEMO_ENTRIES:
+            self._decomp_memo.popitem(last=False)
+        return key, decomp, seg_starts, tiles_per_node, csr_sectors
+
+    def _edge_accounting(
+        self,
+        degrees_key: tuple[str, bytes],
+        edge_dst: np.ndarray,
+        seg_starts: np.ndarray,
+    ) -> tuple[int, SectorAccounting]:
+        """Per-kernel sector accounting, memoized on the exact edge batch.
+
+        The unscaled per-segment distinct-sector sum and the shared
+        :class:`SectorAccounting` (kernel-wide distinct sectors and
+        addresses, computed lazily) depend only on ``edge_dst`` and the
+        segmentation — which the degree signature determines — so a
+        full-frontier app re-presenting the identical expansion every
+        iteration hits the memo.  Exact byte keys, not hashes: a
+        collision would silently corrupt gated metrics.
+        """
+        key = (degrees_key, edge_dst.tobytes())
+        cached = self._edge_memo.get(key)
+        if cached is not None:
+            self._edge_memo.move_to_end(key)
+            self.metrics.count("sage.edge_accounting_cache_hits")
+            return cached
+        acct = SectorAccounting(edge_dst, self.spec.sector_width)
+        per_segment = segmented_distinct_sectors(
+            edge_dst, seg_starts, self.spec.sector_width, presorted=True
+        )
+        entry = (int(per_segment.sum()), acct)
+        self._edge_memo[key] = entry
+        if len(self._edge_memo) > DECOMP_MEMO_ENTRIES:
+            self._edge_memo.popitem(last=False)
+        return entry
+
     def _tiled_stats(
         self,
         frontier: np.ndarray,
@@ -147,16 +232,14 @@ class SageScheduler(Scheduler):
         app: App,
     ) -> KernelStats:
         spec = self.spec
-        decomp = decompose_frontier(degrees, spec.block_size, self.min_tile)
-        cum_deg = np.cumsum(degrees) - degrees
-        seg_starts = decomp.segment_starts(cum_deg)
+        degrees_key, decomp, seg_starts, tiles_per_node, csr_sectors = (
+            self._decompose_cached(degrees)
+        )
+        raw_touches, acct = self._edge_accounting(degrees_key, edge_dst, seg_starts)
         touches, unique = value_sector_accounting(
             edge_dst, seg_starts, spec,
             presorted=True, access_factor=app.value_access_factor,
-        )
-        seg_sizes = np.diff(np.append(seg_starts, edge_dst.size))
-        csr_sectors = csr_gather_sectors(
-            seg_sizes, spec, aligned=self.tile_alignment
+            accounting=acct, raw_touches=raw_touches,
         )
 
         active = int(edge_dst.size)
@@ -167,9 +250,6 @@ class SageScheduler(Scheduler):
 
         if self.resident_stealing:
             assert self._store is not None
-            tiles_per_node = np.zeros(frontier.size, dtype=np.int64)
-            np.add.at(tiles_per_node, decomp.tile_frontier_idx, 1)
-            np.add.at(tiles_per_node, decomp.fragment_frontier_idx, 1)
             _, new_nodes, new_tiles = self._store.visit(frontier, tiles_per_node)
             # Scheduling decisions are resident: new nodes pay the tile
             # write; everything else is a cheap queue pop.
@@ -223,7 +303,9 @@ class SageScheduler(Scheduler):
             concurrency_warps=max(1.0, concurrency),
             overhead_cycles=overhead_cycles,
             extra_dram_bytes=extra_bytes,
-            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            atomic_conflicts=atomic_conflicts_for(
+                app, edge_dst, spec.sector_width, acct
+            ),
             compute_scale=app.edge_compute_factor,
         )
 
@@ -243,6 +325,7 @@ class SageScheduler(Scheduler):
         """
         spec = self.spec
         active = int(edge_dst.size)
+        acct = SectorAccounting(edge_dst, spec.sector_width)
         pad = (-degrees.size) % spec.warp_size
         padded = np.append(degrees, np.zeros(pad, dtype=degrees.dtype))
         per_warp_max = padded.reshape(-1, spec.warp_size).max(axis=1)
@@ -254,7 +337,7 @@ class SageScheduler(Scheduler):
             spec.block_size,
         )
         touches = int(round(active * app.value_access_factor))
-        unique = int(np.unique(edge_dst // spec.sector_width).size) if active else 0
+        unique = acct.unique_sectors if active else 0
         unique = min(touches, int(round(unique * app.value_access_factor)))
         return KernelStats(
             active_edges=active,
@@ -267,7 +350,9 @@ class SageScheduler(Scheduler):
                                              * spec.block_size
                                              // spec.warp_size)),
             overhead_cycles=0.0,
-            atomic_conflicts=atomic_conflicts_for(app, edge_dst, spec.sector_width),
+            atomic_conflicts=atomic_conflicts_for(
+                app, edge_dst, spec.sector_width, acct
+            ),
             compute_scale=app.edge_compute_factor,
         )
 

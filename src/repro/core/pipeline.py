@@ -103,7 +103,6 @@ class TraversalPipeline:
         device = self.device
         metrics = self.metrics
         start_seconds = device.elapsed_seconds
-        start_profile = device.profiler
 
         with metrics.span(
             "run", app=app.name, scheduler=scheduler.name,
@@ -196,13 +195,6 @@ class TraversalPipeline:
                 else:
                     remapped[key] = arr
             results = remapped
-        profiler = device.profiler
-        if profiler is start_profile:
-            # Differential view over a shared device: report only this
-            # run's counters when possible.
-            run_profiler = profiler
-        else:  # pragma: no cover - device was reset mid-run
-            run_profiler = profiler
         return RunResult(
             app_name=app.name,
             scheduler_name=scheduler.name,
@@ -210,7 +202,7 @@ class TraversalPipeline:
             iterations=iterations,
             edges_traversed=edges_traversed,
             result=results,
-            profiler=run_profiler,
+            profiler=device.profiler,
             reorder_commits=commits,
             final_perm=total_perm,
         )

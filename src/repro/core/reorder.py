@@ -124,21 +124,27 @@ class SamplingReorderer:
                 np.arange(n, dtype=np.int64), 0, sampled_tiles, 0
             )
 
+        # All three stages count per sampled node only, so they run over
+        # compacted ids: ``nodes`` (the sorted distinct sampled nodes)
+        # indexes every bincount of length ``nodes.size`` instead of
+        # scatter-adds into |V|-sized arrays.
+        nodes = np.unique(u)
+        u_c = np.searchsorted(nodes, u)
+        m = nodes.size
+
         # Stage 1: locality of the current index, from the same samples
         # Stage 3 will use (apples-to-apples comparison).
         current_sector_lo = (u // w) * w
-        old_locality = np.zeros(n, dtype=np.int64)
         in_current = (co >= current_sector_lo) & (co < current_sector_lo + w)
-        np.add.at(old_locality, u[in_current], 1)
+        old_locality = np.bincount(u_c[in_current], minlength=m)
 
         # Stage 2: per-node binary search toward the majority half.
-        candidate_lo = self._binary_search_sectors(u, co)
+        candidate_lo = self._binary_search_sectors(u_c, co, m)
 
         # Stage 3: locality at the candidate sector, same samples.
-        new_locality = np.zeros(n, dtype=np.int64)
-        cand_lo_per_pair = candidate_lo[u]
+        cand_lo_per_pair = candidate_lo[u_c]
         in_cand = (co >= cand_lo_per_pair) & (co < cand_lo_per_pair + w)
-        np.add.at(new_locality, u[in_cand], 1)
+        new_locality = np.bincount(u_c[in_cand], minlength=m)
 
         # Commit rule: move only nodes whose locality improves by a
         # clear margin (damping, see module docstring).
@@ -147,7 +153,7 @@ class SamplingReorderer:
         expected = ids.astype(np.float64)
         # Candidate index: middle of the target sector; the stable sort
         # below resolves collisions between movers and incumbents.
-        expected[improves] = candidate_lo[improves] + (w - 1) / 2.0
+        expected[nodes[improves]] = candidate_lo[improves] + (w - 1) / 2.0
         order = np.argsort(expected, kind="stable")
         perm = np.empty(n, dtype=np.int64)
         perm[order] = ids
@@ -161,43 +167,36 @@ class SamplingReorderer:
         return RoundOutcome(perm, moved, sampled_tiles, pairs)
 
     def _binary_search_sectors(
-        self, u: np.ndarray, co: np.ndarray
+        self, u_c: np.ndarray, co: np.ndarray, m: int
     ) -> np.ndarray:
-        """Stage 2 for all nodes simultaneously.
+        """Stage 2 for all sampled nodes simultaneously.
 
         Every node starts with the whole id range; each level counts its
         sampled co-members in the two halves and keeps the fuller one
         (ties keep the left half), until ranges shrink to one sector.
-        Nodes without samples keep their own sector.
+        ``u_c`` holds compacted pair owners (indices into the distinct
+        sampled-node array of size ``m``); counting per level is one
+        ``bincount`` of length ``m``, not a |V|-sized scatter-add.
         """
         n = self.num_nodes
         w = self.spec.sector_width
-        lo = np.zeros(n, dtype=np.int64)
-        hi = np.full(n, n, dtype=np.int64)
-        has_samples = np.zeros(n, dtype=bool)
-        has_samples[u] = True
+        lo = np.zeros(m, dtype=np.int64)
+        hi = np.full(m, n, dtype=np.int64)
         while True:
-            span = hi - lo
-            open_range = span > w
+            open_range = hi - lo > w
             if not open_range.any():
                 break
             mid = (lo + hi) // 2
-            left = np.zeros(n, dtype=np.int64)
-            right = np.zeros(n, dtype=np.int64)
-            pair_lo = lo[u]
-            pair_mid = mid[u]
-            pair_hi = hi[u]
-            in_left = (co >= pair_lo) & (co < pair_mid)
-            in_right = (co >= pair_mid) & (co < pair_hi)
-            np.add.at(left, u[in_left], 1)
-            np.add.at(right, u[in_right], 1)
+            pair_mid = mid[u_c]
+            in_left = (co >= lo[u_c]) & (co < pair_mid)
+            in_right = (co >= pair_mid) & (co < hi[u_c])
+            left = np.bincount(u_c[in_left], minlength=m)
+            right = np.bincount(u_c[in_right], minlength=m)
             go_right = open_range & (right > left)
             go_left = open_range & ~go_right
             lo[go_right] = mid[go_right]
             hi[go_left] = mid[go_left]
-        sector_lo = (lo // w) * w
-        own_sector = (np.arange(n, dtype=np.int64) // w) * w
-        return np.where(has_samples, sector_lo, own_sector)
+        return (lo // w) * w
 
     def _finish_round(self) -> None:
         self.sampler.reset()

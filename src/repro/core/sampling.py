@@ -77,8 +77,15 @@ class TileAccessSampler:
 
         # For every element of every kept tile, pair it with up to
         # ``co_samples`` rotated co-members of the same tile.  Rotation by
-        # k in [1, len) never pairs an element with itself.
+        # k in [1, len) never pairs an element with itself.  Each tile
+        # element yields min(co_samples, len - 1) pairs, so the whole
+        # observation fits one preallocated buffer per side instead of
+        # one appended array per rotation.
         n_pairs_per_elem = np.minimum(self.co_samples, lengths - 1)
+        total_pairs = int((n_pairs_per_elem * lengths).sum())
+        pair_u = np.empty(total_pairs, dtype=np.int64)
+        pair_co = np.empty(total_pairs, dtype=np.int64)
+        filled = 0
         for k in range(1, self.co_samples + 1):
             has_k = lengths - 1 >= k
             if not has_k.any():
@@ -91,11 +98,13 @@ class TileAccessSampler:
                 - np.repeat(np.cumsum(ln) - ln, ln)
             )
             base = np.repeat(s, ln)
-            u = edge_dst[base + within]
-            co = edge_dst[base + (within + k) % np.repeat(ln, ln)]
-            self._pair_u.append(u)
-            self._pair_co.append(co)
-        del n_pairs_per_elem
+            pair_u[filled : filled + total] = edge_dst[base + within]
+            pair_co[filled : filled + total] = edge_dst[
+                base + (within + k) % np.repeat(ln, ln)
+            ]
+            filled += total
+        self._pair_u.append(pair_u[:filled])
+        self._pair_co.append(pair_co[:filled])
 
     def pairs(self) -> tuple[np.ndarray, np.ndarray]:
         """All collected (member, co-member) pairs."""
@@ -107,11 +116,10 @@ class TileAccessSampler:
     def locality_counts(self) -> np.ndarray:
         """Stage-1 locality per node: sampled same-sector co-accesses."""
         u, co = self.pairs()
-        locality = np.zeros(self.num_nodes, dtype=np.int64)
-        if u.size:
-            same = (u // self.sector_width) == (co // self.sector_width)
-            np.add.at(locality, u[same], 1)
-        return locality
+        if not u.size:
+            return np.zeros(self.num_nodes, dtype=np.int64)
+        same = (u // self.sector_width) == (co // self.sector_width)
+        return np.bincount(u[same], minlength=self.num_nodes)
 
     def reset(self) -> None:
         """Clear all accumulated samples (start of a new round)."""

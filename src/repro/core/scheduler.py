@@ -19,7 +19,11 @@ import numpy as np
 from repro.apps.base import App
 from repro.graph.csr import CSRGraph
 from repro.gpusim.cost import KernelStats
-from repro.gpusim.memory import coalesced_sectors, segmented_distinct_sectors
+from repro.gpusim.memory import (
+    coalesced_sectors,
+    distinct_count,
+    segmented_distinct_sectors,
+)
 from repro.gpusim.spec import GPUSpec
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
@@ -88,6 +92,45 @@ class Scheduler(ABC):
         """Called after the pipeline applies a :class:`ReorderCommit`."""
 
 
+class SectorAccounting:
+    """Lazily shared distinct-sector/address counts of one kernel batch.
+
+    ``value_sector_accounting`` and ``atomic_conflicts_for`` both need the
+    kernel-wide distinct count of ``edge_dst // sector_width`` (atomics
+    additionally the distinct address count); a scheduler constructs one
+    instance per kernel call and passes it to both so the sorted-sector
+    computation runs once.
+    """
+
+    __slots__ = ("edge_dst", "sector_width", "_unique_sectors", "_unique_addresses")
+
+    def __init__(self, edge_dst: np.ndarray, sector_width: int) -> None:
+        self.edge_dst = edge_dst
+        self.sector_width = int(sector_width)
+        self._unique_sectors: int | None = None
+        self._unique_addresses: int | None = None
+
+    @property
+    def unique_sectors(self) -> int:
+        """Distinct count of ``edge_dst // sector_width``."""
+        if self._unique_sectors is None:
+            self._unique_sectors = (
+                distinct_count(self.edge_dst // self.sector_width)
+                if self.edge_dst.size
+                else 0
+            )
+        return self._unique_sectors
+
+    @property
+    def unique_addresses(self) -> int:
+        """Distinct count of ``edge_dst``."""
+        if self._unique_addresses is None:
+            self._unique_addresses = (
+                distinct_count(self.edge_dst) if self.edge_dst.size else 0
+            )
+        return self._unique_addresses
+
+
 def value_sector_accounting(
     edge_dst: np.ndarray,
     segment_starts: np.ndarray,
@@ -95,11 +138,22 @@ def value_sector_accounting(
     *,
     presorted: bool,
     access_factor: float = 1.0,
+    accounting: SectorAccounting | None = None,
+    raw_touches: int | None = None,
 ) -> tuple[int, int]:
     """Scattered value-array transactions of one kernel.
 
     Each segment is one concurrent tile access; its cost is the number of
     distinct sectors among its neighbor ids (paper Section 6's objective).
+
+    Args:
+        accounting: shared per-kernel :class:`SectorAccounting`; pass the
+            same instance to :func:`atomic_conflicts_for` to compute the
+            kernel-wide sector set once.
+        raw_touches: precomputed unscaled per-segment distinct-sector sum
+            for this exact ``(edge_dst, segment_starts)`` pair (from a
+            scheduler's kernel-accounting memo); skips the segmented
+            count when provided.
 
     Returns:
         ``(touches, unique)`` — per-tile distinct sectors summed, and the
@@ -108,13 +162,15 @@ def value_sector_accounting(
     """
     if edge_dst.size == 0:
         return 0, 0
-    per_segment = segmented_distinct_sectors(
-        edge_dst, segment_starts, spec.sector_width, presorted=presorted
-    )
-    touches = int(per_segment.sum())
-    unique = int(np.unique(edge_dst // spec.sector_width).size)
-    touches = int(round(touches * access_factor))
-    unique = min(touches, int(round(unique * access_factor)))
+    if accounting is None:
+        accounting = SectorAccounting(edge_dst, spec.sector_width)
+    if raw_touches is None:
+        per_segment = segmented_distinct_sectors(
+            edge_dst, segment_starts, spec.sector_width, presorted=presorted
+        )
+        raw_touches = int(per_segment.sum())
+    touches = int(round(raw_touches * access_factor))
+    unique = min(touches, int(round(accounting.unique_sectors * access_factor)))
     return touches, unique
 
 
@@ -129,7 +185,10 @@ def csr_gather_sectors(
 
 
 def atomic_conflicts_for(
-    app: App, edge_dst: np.ndarray, sector_width: int
+    app: App,
+    edge_dst: np.ndarray,
+    sector_width: int,
+    accounting: SectorAccounting | None = None,
 ) -> float:
     """Serialized atomic collisions for atomic-aggregation filters.
 
@@ -141,10 +200,11 @@ def atomic_conflicts_for(
     """
     if not app.uses_atomics or edge_dst.size == 0:
         return 0.0
-    unique_addresses = int(np.unique(edge_dst).size)
+    if accounting is None:
+        accounting = SectorAccounting(edge_dst, sector_width)
+    unique_addresses = accounting.unique_addresses
     duplicates = int(edge_dst.size) - unique_addresses
-    unique_sectors = int(np.unique(edge_dst // sector_width).size)
-    density = unique_addresses / max(1, unique_sectors * sector_width)
+    density = unique_addresses / max(1, accounting.unique_sectors * sector_width)
     return ATOMIC_CONFLICT_RATE * duplicates * (1.0 + min(1.0, density))
 
 

@@ -127,32 +127,48 @@ def decompose_frontier(
     offset_chunks: list[np.ndarray] = []
     elections = 0
 
-    remaining = degrees.copy()
-    consumed = np.zeros_like(degrees)
+    # The per-node quantities at every level (tile count, consumed
+    # offset) are pure functions of the degree, so the level arithmetic
+    # runs over the distinct-degree histogram and is gathered back per
+    # node only for the expansion that produces output.
     all_idx = np.arange(degrees.size, dtype=np.int64)
+    if degrees.size:
+        hist = np.bincount(degrees)
+        uniq = np.flatnonzero(hist)
+        hist_u = hist[uniq]
+        lookup = np.zeros(hist.size, dtype=np.int64)
+        lookup[uniq] = np.arange(uniq.size, dtype=np.int64)
+        inv = lookup[degrees]
+    else:
+        uniq = np.empty(0, dtype=np.int64)
+        hist_u = np.empty(0, dtype=np.int64)
+        inv = np.empty(0, dtype=np.int64)
+    rem_u = uniq.copy()
+    cons_u = np.zeros_like(uniq)
     for s in sizes:
-        counts = remaining // s
-        active = counts > 0
-        elections += int(active.sum())
-        n_active = int(counts[active].sum())
-        if n_active:
-            # node i contributes counts[i] tiles at offsets
-            # consumed[i], consumed[i] + s, ...
+        cnt_u = rem_u // s
+        active_u = cnt_u > 0
+        elections += int(hist_u[active_u].sum())
+        if cnt_u[active_u].size and int((cnt_u * hist_u)[active_u].sum()):
+            # node i contributes cnt[degree_i] tiles at offsets
+            # consumed[degree_i], consumed[degree_i] + s, ...
+            counts = cnt_u[inv]
+            active = counts > 0
             reps = counts[active]
             nodes = np.repeat(all_idx[active], reps)
-            base = np.repeat(consumed[active], reps)
+            base = np.repeat(cons_u[inv][active], reps)
             cum = np.repeat(np.cumsum(reps) - reps, reps)
             within = (np.arange(nodes.size, dtype=np.int64) - cum) * s
             idx_chunks.append(nodes)
             size_chunks.append(np.full(nodes.size, s, dtype=np.int64))
             offset_chunks.append(base + within)
-        consumed += counts * s
-        remaining -= counts * s
+        cons_u += cnt_u * s
+        rem_u -= cnt_u * s
 
-    frag_active = remaining > 0
+    frag_active = rem_u[inv] > 0 if degrees.size else np.zeros(0, dtype=bool)
     frag_idx = all_idx[frag_active]
-    frag_sizes = remaining[frag_active]
-    frag_offsets = consumed[frag_active]
+    frag_sizes = rem_u[inv][frag_active]
+    frag_offsets = cons_u[inv][frag_active]
 
     if idx_chunks:
         tile_idx = np.concatenate(idx_chunks)
@@ -170,6 +186,68 @@ def decompose_frontier(
         fragment_frontier_idx=frag_idx,
         fragment_sizes=frag_sizes,
         fragment_local_offsets=frag_offsets,
+        elections=elections,
+        levels=len(sizes),
+        block_size=block_size,
+        min_tile=min_tile,
+    )
+
+
+def decompose_frontier_reference(
+    degrees: np.ndarray,
+    block_size: int,
+    min_tile: int = DEFAULT_MIN_TILE,
+) -> TileDecomposition:
+    """Pre-optimization per-node formulation of :func:`decompose_frontier`,
+    kept as the equivalence-test reference."""
+    degrees = np.asarray(degrees, dtype=np.int64)
+    if degrees.size and degrees.min() < 0:
+        raise InvalidParameterError("degrees must be non-negative")
+    sizes = tile_size_levels(block_size, min_tile)
+
+    idx_chunks: list[np.ndarray] = []
+    size_chunks: list[np.ndarray] = []
+    offset_chunks: list[np.ndarray] = []
+    elections = 0
+
+    remaining = degrees.copy()
+    consumed = np.zeros_like(degrees)
+    all_idx = np.arange(degrees.size, dtype=np.int64)
+    for s in sizes:
+        counts = remaining // s
+        active = counts > 0
+        elections += int(active.sum())
+        n_active = int(counts[active].sum())
+        if n_active:
+            reps = counts[active]
+            nodes = np.repeat(all_idx[active], reps)
+            base = np.repeat(consumed[active], reps)
+            cum = np.repeat(np.cumsum(reps) - reps, reps)
+            within = (np.arange(nodes.size, dtype=np.int64) - cum) * s
+            idx_chunks.append(nodes)
+            size_chunks.append(np.full(nodes.size, s, dtype=np.int64))
+            offset_chunks.append(base + within)
+        consumed += counts * s
+        remaining -= counts * s
+
+    frag_active = remaining > 0
+
+    if idx_chunks:
+        tile_idx = np.concatenate(idx_chunks)
+        tile_sizes = np.concatenate(size_chunks)
+        tile_offsets = np.concatenate(offset_chunks)
+    else:
+        tile_idx = np.empty(0, dtype=np.int64)
+        tile_sizes = np.empty(0, dtype=np.int64)
+        tile_offsets = np.empty(0, dtype=np.int64)
+
+    return TileDecomposition(
+        tile_frontier_idx=tile_idx,
+        tile_sizes=tile_sizes,
+        tile_local_offsets=tile_offsets,
+        fragment_frontier_idx=all_idx[frag_active],
+        fragment_sizes=remaining[frag_active],
+        fragment_local_offsets=consumed[frag_active],
         elections=elections,
         levels=len(sizes),
         block_size=block_size,

@@ -9,6 +9,14 @@ minimizes (paper Section 6).
 This module provides vectorized distinct-sector counting over segmented
 access batches plus an LRU cache used both exactly (tests, profiling) and
 as a sampled estimator inside the cost model.
+
+Hot-path discipline (see DESIGN.md "Hot-path complexity budgets"): every
+function here runs once per simulated kernel, so each is bounded by
+O(E) or O(E log E) vectorized work with no per-element Python loops.
+Reference implementations (``*_reference`` / :class:`ReferenceLRUCache`)
+retain the straightforward formulations; the equivalence property tests
+in ``tests/test_hotpath_equivalence.py`` pin the optimized paths to them
+bit-for-bit.
 """
 
 from __future__ import annotations
@@ -27,11 +35,41 @@ def sector_ids(addresses: np.ndarray, sector_width: int) -> np.ndarray:
     return np.asarray(addresses, dtype=np.int64) // sector_width
 
 
+def distinct_count(values: np.ndarray) -> int:
+    """Number of distinct values in a non-negative int array.
+
+    Equivalent to ``np.unique(values).size`` but bincount-based — O(n +
+    max) instead of hash/sort based — which is several times faster for
+    the dense id ranges graph kernels produce (node ids < |V|).  Falls
+    back to ``np.unique`` when the value range is too sparse for a dense
+    count array to pay off.
+    """
+    values = np.asarray(values, dtype=np.int64)
+    if values.size == 0:
+        return 0
+    max_value = int(values.max())
+    if max_value <= 16 * values.size + 1024:
+        return int(np.count_nonzero(np.bincount(values, minlength=max_value + 1)))
+    return int(np.unique(values).size)
+
+
 def distinct_sectors(addresses: np.ndarray, sector_width: int) -> int:
     """Number of distinct sectors touched by one access batch."""
     if len(addresses) == 0:
         return 0
-    return int(np.unique(sector_ids(addresses, sector_width)).size)
+    return distinct_count(sector_ids(addresses, sector_width))
+
+
+def _segment_bounds(
+    addresses: np.ndarray, segment_starts: np.ndarray
+) -> tuple[np.ndarray, np.ndarray]:
+    """Validated (bounds, lengths) of a segmented batch."""
+    starts = np.asarray(segment_starts, dtype=np.int64)
+    bounds = np.append(starts, addresses.size)
+    lengths = np.diff(bounds)
+    if np.any(lengths < 0) or (starts.size and starts[0] != 0):
+        raise InvalidParameterError("segment_starts must be sorted from 0")
+    return bounds, lengths
 
 
 def segmented_distinct_sectors(
@@ -56,18 +94,60 @@ def segmented_distinct_sectors(
     Returns:
         int64 array with one distinct-sector count per segment.
 
-    The whole computation is O(E) or O(E log E) vectorized: distinct count
-    per sorted segment is one plus the number of internal sector jumps.
+    Distinct count per sorted segment is one plus the number of internal
+    sector jumps; per-segment totals come from binary-searching the
+    segment bounds against the sorted jump positions (no scatter-add, no
+    full-length prefix sum).  The unsorted path sorts one composite
+    ``segment * span + sector`` key — a single flat int64 sort instead of
+    a two-key lexsort.
     """
     addresses = np.asarray(addresses, dtype=np.int64)
     starts = np.asarray(segment_starts, dtype=np.int64)
     n_seg = starts.size
     if n_seg == 0:
         return np.zeros(0, dtype=np.int64)
-    bounds = np.append(starts, addresses.size)
-    lengths = np.diff(bounds)
-    if np.any(lengths < 0) or (starts.size and starts[0] != 0):
-        raise InvalidParameterError("segment_starts must be sorted from 0")
+    bounds, lengths = _segment_bounds(addresses, starts)
+    if addresses.size == 0:
+        return np.zeros(n_seg, dtype=np.int64)
+    secs = sector_ids(addresses, sector_width)
+    if not presorted:
+        lo = int(secs.min())
+        span = int(secs.max()) - lo + 1
+        if span * n_seg < 2**62:
+            seg_of = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+            key = seg_of * span + (secs - lo)
+            key.sort()
+            secs = key  # keys of different segments never collide
+        else:  # pragma: no cover - astronomically sparse ranges
+            seg_of = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
+            order = np.lexsort((secs, seg_of))
+            secs = secs[order]
+    jumps = np.empty(addresses.size, dtype=bool)
+    jumps[0] = True
+    np.not_equal(secs[1:], secs[:-1], out=jumps[1:])
+    # First element of each non-empty segment opens a new sector; empty
+    # segments (start == end, possibly == len) have nothing to mark.
+    jumps[starts[starts < addresses.size]] = True
+    jump_pos = np.flatnonzero(jumps)
+    edges = np.searchsorted(jump_pos, bounds)
+    return edges[1:] - edges[:-1]
+
+
+def segmented_distinct_sectors_reference(
+    addresses: np.ndarray,
+    segment_starts: np.ndarray,
+    sector_width: int,
+    *,
+    presorted: bool = False,
+) -> np.ndarray:
+    """Pre-optimization formulation (lexsort + scatter-add), kept as the
+    equivalence-test reference for :func:`segmented_distinct_sectors`."""
+    addresses = np.asarray(addresses, dtype=np.int64)
+    starts = np.asarray(segment_starts, dtype=np.int64)
+    n_seg = starts.size
+    if n_seg == 0:
+        return np.zeros(0, dtype=np.int64)
+    _, lengths = _segment_bounds(addresses, starts)
     secs = sector_ids(addresses, sector_width)
     if not presorted and addresses.size:
         seg_of = np.repeat(np.arange(n_seg, dtype=np.int64), lengths)
@@ -78,8 +158,6 @@ def segmented_distinct_sectors(
         return counts
     jumps = np.zeros(addresses.size, dtype=bool)
     jumps[1:] = np.diff(secs) != 0
-    # First element of each non-empty segment opens a new sector; empty
-    # segments (start == end, possibly == len) have nothing to mark.
     jumps[starts[starts < addresses.size]] = True
     np.add.at(counts, np.repeat(np.arange(n_seg), lengths), jumps.astype(np.int64))
     return counts
@@ -107,13 +185,270 @@ def coalesced_sectors(
     return base + straddle.astype(np.int64)
 
 
+def _prefix_dominance_counts(
+    values: np.ndarray, q_pos: np.ndarray, q_val: np.ndarray
+) -> np.ndarray:
+    """For each query ``t``: ``#{j < q_pos[t] : values[j] <= q_val[t]}``.
+
+    The workhorse of the batched LRU stack-distance computation.  Values
+    are rank-compressed (stable ranks are a permutation even with ties),
+    positions are cut into ~sqrt(2n) sized blocks, and one cumulative
+    block x rank one-hot matrix answers the whole-blocks part of every
+    query with a single fancy-indexed lookup; the partial head block is a
+    2D masked gather.  O(n * sqrt(n)) arithmetic in a constant number of
+    vectorized passes — no binary searches, no per-level loop.
+    """
+    n = values.size
+    n_queries = q_pos.size
+    if n == 0 or n_queries == 0:
+        return np.zeros(n_queries, dtype=np.int64)
+    if n * n_queries <= 1 << 18:
+        lanes = np.arange(n, dtype=np.int64)
+        return np.count_nonzero(
+            (lanes[None, :] < q_pos[:, None]) & (values[None, :] <= q_val[:, None]),
+            axis=1,
+        ).astype(np.int64)
+    # Rank-compress: rank[j] = position of values[j] in sorted order
+    # (ties broken by position), so "values[j] <= X" becomes
+    # "rank[j] < searchsorted(sorted_values, X, 'right')".
+    order = np.argsort(values, kind="stable")
+    rank_by_pos = np.empty(n, dtype=np.int64)
+    rank_by_pos[order] = np.arange(n, dtype=np.int64)
+    thresholds = np.searchsorted(values[order], q_val, side="right")
+
+    # Balance the cumulative-matrix passes (~n^2 / bs) against the
+    # per-query partial-block scans (~n_queries * bs).
+    bs = max(8, min(n, int(n / max(1.0, (2.0 * n_queries) ** 0.5)) + 1))
+    n_blocks = -(-n // bs)
+    # one_hot[b, r + 1] = 1 iff the element of block b at some position
+    # has rank r; prefix sums turn it into "count of ranks < t per block"
+    # (axis 1) and then "... in blocks < B" (axis 0).
+    # int32 is ample (counts <= n, chunked far below 2**31) and halves
+    # the memory traffic of the two full-matrix prefix-sum passes.
+    one_hot = np.zeros((n_blocks + 1, n + 1), dtype=np.int32)
+    one_hot[np.arange(n, dtype=np.int64) // bs + 1, rank_by_pos + 1] = 1
+    np.cumsum(one_hot, axis=1, out=one_hot)
+    np.cumsum(one_hot, axis=0, out=one_hot)
+
+    head = q_pos // bs
+    out = one_hot[head, thresholds].astype(np.int64)
+    # Partial block: positions [head * bs, q_pos) compared directly.
+    lanes = np.arange(bs, dtype=np.int64)
+    pos2 = head[:, None] * bs + lanes[None, :]
+    valid = pos2 < q_pos[:, None]
+    ranks2 = rank_by_pos[np.where(valid, pos2, 0)]
+    out += np.count_nonzero(valid & (ranks2 < thresholds[:, None]), axis=1)
+    return out
+
+
 class LRUCacheModel:
-    """Exact LRU cache over sector ids.
+    """Exact LRU cache over sector ids, batch-vectorized.
 
     Used to measure hit rates of small traces exactly (tests and the
     profiler) — the cost model uses :func:`estimate_dram_sectors` for
     speed on large traces.
+
+    :meth:`access` exploits the LRU stack (inclusion) property: an access
+    hits iff fewer than ``capacity`` distinct sectors were touched since
+    the sector's previous access.  Stack distances for a whole batch are
+    computed with :func:`_prefix_dominance_counts` instead of walking an
+    ordered dict per sector; results are bit-identical to
+    :class:`ReferenceLRUCache` (property-tested).
     """
+
+    def __init__(self, capacity_sectors: int) -> None:
+        if capacity_sectors < 1:
+            raise InvalidParameterError("cache capacity must be >= 1")
+        self.capacity = capacity_sectors
+        self.hits = 0
+        self.misses = 0
+        self._time = 0
+        # Sorted distinct sectors ever touched + their last access times.
+        self._sectors = np.empty(0, dtype=np.int64)
+        self._times = np.empty(0, dtype=np.int64)
+        self._times_sorted = np.empty(0, dtype=np.int64)
+
+    #: Large batches are processed in chunks so the O(K log^2 K)
+    #: stack-distance pass pays the log factor of the chunk, not the
+    #: whole trace; LRU over the concatenated stream is identical to
+    #: sequential chunk processing.
+    #: Measured sweet spot: larger chunks amortize per-chunk passes but
+    #: grow the ambiguous-query dominance problems superlinearly.
+    _CHUNK = 2048
+
+    def access(self, sectors: np.ndarray | list[int]) -> int:
+        """Touch sectors in order; returns the number of misses added."""
+        batch = np.asarray(sectors, dtype=np.int64).ravel()
+        if batch.size <= self._CHUNK:
+            return self._access_chunk(batch)
+        misses = 0
+        for start in range(0, batch.size, self._CHUNK):
+            misses += self._access_chunk(batch[start : start + self._CHUNK])
+        return misses
+
+    def _access_chunk(self, batch: np.ndarray) -> int:
+        n = batch.size
+        if n == 0:
+            return 0
+        t0 = self._time
+
+        # Previous occurrence of each element within the batch (-1 when
+        # the element is its sector's first batch occurrence).
+        order = np.argsort(batch, kind="stable")
+        sorted_secs = batch[order]
+        prev_rel = np.full(n, -1, dtype=np.int64)
+        if n > 1:
+            same = sorted_secs[1:] == sorted_secs[:-1]
+            prev_rel[order[1:]] = np.where(same, order[:-1], np.int64(-1))
+
+        # Global previous-access time: in-batch position + t0, else the
+        # stored last-access time, else -1 (never seen).
+        prev_glob = np.where(prev_rel >= 0, t0 + prev_rel, np.int64(-1))
+        firsts = np.flatnonzero(prev_rel < 0)
+        if self._sectors.size and firsts.size:
+            first_secs = batch[firsts]
+            idx = np.searchsorted(self._sectors, first_secs)
+            idx_c = np.minimum(idx, self._sectors.size - 1)
+            found = (idx < self._sectors.size) & (self._sectors[idx_c] == first_secs)
+            prev_glob[firsts] = np.where(found, self._times[idx_c], np.int64(-1))
+
+        # An access hits iff its stack distance D — the distinct sectors
+        # touched strictly between the previous access and this one — is
+        # below capacity.  Most accesses are classified by O(1) bounds;
+        # only the ambiguous remainder pays for exact dominance counting.
+        capacity = self.capacity
+        hit = np.zeros(n, dtype=bool)
+        is_first = prev_rel < 0
+        # firsts_in_prefix[x] = number of chunk-firsts at positions < x.
+        firsts_in_prefix = np.concatenate(
+            [np.zeros(1, dtype=np.int64), np.cumsum(is_first)]
+        )
+
+        # Chunk-first accesses: the window reaches into pre-chunk state.
+        # D = (state sectors last touched inside the window) + (earlier
+        # firsts whose own previous access also precedes the window).
+        if firsts.size:
+            fprev = prev_glob[firsts]
+            seen = fprev >= 0
+            state_above = self._times_sorted.size - np.searchsorted(
+                self._times_sorted, fprev, side="right"
+            )
+            first_rank = np.arange(firsts.size, dtype=np.int64)
+            never_before = first_rank - np.cumsum(seen) + seen
+            # Never-seen earlier firsts always land in the window; at
+            # most every earlier first does.
+            d_low = state_above + never_before
+            d_high = state_above + first_rank
+            f_hit = seen & (d_high < capacity)
+            ambiguous = np.flatnonzero(seen & ~f_hit & (d_low < capacity))
+            if ambiguous.size:
+                # Only points at or below the largest query threshold can
+                # ever be counted; dropping the rest shrinks the
+                # dominance problem (order among keepers is preserved).
+                keep = fprev <= fprev[ambiguous].max()
+                kept_prefix = np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(keep)]
+                )
+                g = _prefix_dominance_counts(
+                    fprev[keep],
+                    kept_prefix[first_rank[ambiguous]],
+                    fprev[ambiguous],
+                )
+                f_hit[ambiguous] = state_above[ambiguous] + g < capacity
+            hit[firsts] = f_hit
+
+        # Repeat accesses: the window lies inside the chunk.  D = (firsts
+        # in the window — each a fresh distinct sector) + (repeats in the
+        # window whose own previous access precedes the window).
+        repeats = np.flatnonzero(prev_rel >= 0)
+        if repeats.size:
+            p_rel = prev_rel[repeats]
+            window = repeats - p_rel - 1
+            f1 = firsts_in_prefix[repeats] - firsts_in_prefix[p_rel + 1]
+            r_hit = window < capacity  # D <= accesses in the window
+            ambiguous = np.flatnonzero(~r_hit & (f1 < capacity))
+            if ambiguous.size:
+                x_hi = ambiguous  # index of each query repeat among repeats
+                x_lo = np.searchsorted(repeats, p_rel[ambiguous] + 1)
+                v = p_rel[ambiguous]
+                keep = p_rel <= v.max()
+                kept_prefix = np.concatenate(
+                    [np.zeros(1, dtype=np.int64), np.cumsum(keep)]
+                )
+                counts = _prefix_dominance_counts(
+                    p_rel[keep],
+                    kept_prefix[np.concatenate([x_hi, x_lo])],
+                    np.concatenate([v, v]),
+                )
+                f2 = counts[: ambiguous.size] - counts[ambiguous.size :]
+                r_hit[ambiguous] = f1[ambiguous] + f2 < capacity
+            hit[repeats] = r_hit
+
+        new_hits = int(np.count_nonzero(hit))
+        new_misses = n - new_hits
+        self.hits += new_hits
+        self.misses += new_misses
+        self._time = t0 + n
+
+        # Fold the batch into the state: last access time per sector.
+        run_ends = np.flatnonzero(
+            np.append(sorted_secs[1:] != sorted_secs[:-1], True)
+        )
+        batch_uniq = sorted_secs[run_ends]
+        batch_last = t0 + order[run_ends]
+        stale_times = np.empty(0, dtype=np.int64)
+        if self._sectors.size:
+            idx = np.searchsorted(self._sectors, batch_uniq)
+            idx_c = np.minimum(idx, self._sectors.size - 1)
+            found = (idx < self._sectors.size) & (self._sectors[idx_c] == batch_uniq)
+            stale_times = np.sort(self._times[idx_c[found]])
+            self._times[idx_c[found]] = batch_last[found]
+            fresh = ~found
+        else:
+            fresh = np.ones(batch_uniq.size, dtype=bool)
+        if fresh.any():
+            insert_at = np.searchsorted(self._sectors, batch_uniq[fresh])
+            self._sectors = np.insert(self._sectors, insert_at, batch_uniq[fresh])
+            self._times = np.insert(self._times, insert_at, batch_last[fresh])
+        # Every new time exceeds every retained one, so the sorted-times
+        # update is drop-stale + append-sorted-batch, no full re-sort.
+        retained = self._times_sorted
+        if stale_times.size:
+            retained = np.delete(retained, np.searchsorted(retained, stale_times))
+        self._times_sorted = np.concatenate([retained, np.sort(batch_last)])
+
+        # Prune to the `capacity` most recent distinct sectors — the LRU
+        # stack property makes older entries irrelevant: their next
+        # access has stack distance >= capacity (a certain miss, which
+        # the never-seen classification reports), and they cannot appear
+        # in any other access's reuse window (a window sector's last
+        # touch lies inside the window, i.e. after every pruned time).
+        # Keeps every state-sized merge pass O(capacity + chunk) instead
+        # of O(distinct sectors ever).
+        if self._sectors.size > capacity:
+            keep = self._times >= self._times_sorted[-capacity]
+            self._sectors = self._sectors[keep]
+            self._times = self._times[keep]
+            self._times_sorted = self._times_sorted[-capacity:]
+        return new_misses
+
+    @property
+    def hit_rate(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    def reset(self) -> None:
+        self.hits = 0
+        self.misses = 0
+        self._time = 0
+        self._sectors = np.empty(0, dtype=np.int64)
+        self._times = np.empty(0, dtype=np.int64)
+        self._times_sorted = np.empty(0, dtype=np.int64)
+
+
+class ReferenceLRUCache:
+    """The original per-sector Python loop, kept as the equivalence-test
+    reference for :class:`LRUCacheModel`."""
 
     def __init__(self, capacity_sectors: int) -> None:
         if capacity_sectors < 1:
@@ -124,7 +459,6 @@ class LRUCacheModel:
         self.misses = 0
 
     def access(self, sectors: np.ndarray | list[int]) -> int:
-        """Touch sectors in order; returns the number of misses added."""
         misses = 0
         entries = self._entries
         for s in np.asarray(sectors, dtype=np.int64).tolist():

@@ -220,6 +220,7 @@ class TestBenchTrajectory:
         assert simulated(first) == simulated(second)
         assert set(first["workloads"]) == {
             "bfs_rmat", "pagerank_rmat", "sssp_rmat", "bfs_rmat_outofcore",
+            "bfs_rmat_100k", "pagerank_rmat_100k",
         }
         for row in first["workloads"].values():
             for metric in bench.GATED_METRICS:
