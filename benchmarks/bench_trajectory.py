@@ -62,7 +62,7 @@ def _graph(smoke: bool):
     return rmat(scale, edge_factor=8, seed=7)
 
 
-def _workloads(smoke: bool):
+def _workloads(smoke: bool, sanitizer=None):
     """The fixed suite: name -> zero-argument runner returning a row."""
     graph = _graph(smoke)
     source = int(np.argmax(graph.out_degrees()))
@@ -73,7 +73,7 @@ def _workloads(smoke: bool):
             metrics = MetricsRegistry()
             result = run_app(
                 graph, make_app(**app_kwargs), SageScheduler(),
-                source=source, metrics=metrics,
+                source=source, metrics=metrics, sanitizer=sanitizer,
             )
             return result, metrics
         return run
@@ -81,6 +81,7 @@ def _workloads(smoke: bool):
     def out_of_core():
         metrics = MetricsRegistry()
         runner = SageOutOfCoreRunner(device_fraction=0.25, metrics=metrics)
+        runner.set_sanitizer(sanitizer)
         result = runner.run(graph, BFSApp(), source)
         return result, metrics
 
@@ -105,10 +106,15 @@ def _workloads(smoke: bool):
     return workloads
 
 
-def run_suite(smoke: bool) -> dict:
-    """Execute the suite; returns the BENCH_repro.json payload."""
+def run_suite(smoke: bool, sanitizer=None) -> dict:
+    """Execute the suite; returns the BENCH_repro.json payload.
+
+    With a :class:`repro.analysis.Sanitizer`, every workload runs under
+    hazard auditing (CI's analysis job asserts a clean pass); the
+    simulated metrics are unaffected either way.
+    """
     rows: dict[str, dict] = {}
-    for name, runner in _workloads(smoke).items():
+    for name, runner in _workloads(smoke, sanitizer).items():
         wall_start = time.perf_counter()
         result, metrics = runner()
         wall = time.perf_counter() - wall_start
@@ -209,10 +215,28 @@ def main(argv: list[str] | None = None) -> int:
                         help="exit 1 if a gated metric regresses")
     parser.add_argument("--tolerance", type=float, default=0.20,
                         help="allowed relative regression (default 0.20)")
+    parser.add_argument("--sanitize", action="store_true",
+                        help="run every workload under the kernel hazard "
+                             "sanitizer; exit 1 on any finding")
     args = parser.parse_args(argv)
 
+    sanitizer = None
+    if args.sanitize:
+        from repro.analysis import Sanitizer
+        sanitizer = Sanitizer()
+
     print(f"bench_trajectory: suite={'smoke' if args.smoke else 'full'}")
-    current = run_suite(args.smoke)
+    current = run_suite(args.smoke, sanitizer)
+
+    if sanitizer is not None:
+        if not sanitizer.clean:
+            print("sanitizer findings:", file=sys.stderr)
+            for line in sanitizer.format_summary().splitlines():
+                print(f"  {line}", file=sys.stderr)
+            return 1
+        print(f"sanitizer: clean "
+              f"({sanitizer.levels_checked} levels, "
+              f"{sanitizer.edges_checked} edges audited)")
 
     if args.out:
         out = Path(args.out)

@@ -39,6 +39,12 @@ class App(ABC):
     edge_compute_factor: float = 1.0
     #: whether process_level needs CSR edge positions (e.g. edge weights).
     needs_edge_positions: bool = False
+    #: whether frontiers are deduplicated (the :func:`contract` default);
+    #: the sanitizer flags duplicate ids when claimed.
+    frontier_unique: bool = True
+    #: whether a settled node may never re-enter a later frontier (BFS's
+    #: level monotonicity); checked by the sanitizer when True.
+    monotone_levels: bool = False
 
     def __init__(self) -> None:
         self.graph: CSRGraph | None = None

@@ -24,6 +24,9 @@ class BFSApp(App):
     name = "bfs"
     uses_atomics = False
     value_access_factor = 1.0
+    # Level-synchronous BFS settles a node the first time it is reached;
+    # a revisit means a non-monotone level assignment (sanitizer check).
+    monotone_levels = True
 
     def __init__(self) -> None:
         super().__init__()

@@ -150,12 +150,22 @@ def cmd_run(args: argparse.Namespace) -> int:
     if source is None and args.app in ("bfs", "bc", "sssp"):
         source = int(np.argmax(graph.out_degrees()))
     app = make_app()
+    sanitize = args.sanitize or args.sanitize_report is not None
+    sanitizer = None
+    if sanitize:
+        if args.scheduler == "ligra":
+            print("error: --sanitize does not support the ligra runner "
+                  "(it bypasses the traversal pipeline)", file=sys.stderr)
+            return 2
+        from repro.analysis import Sanitizer
+        sanitizer = Sanitizer()
     metrics = MetricsRegistry() if args.emit_metrics else None
     if args.scheduler == "ligra":
         result = LigraRunner().run(graph, app, source)
     else:
         result = run_app(graph, app, SCHEDULERS[args.scheduler](),
-                         source=source, metrics=metrics)
+                         source=source, metrics=metrics,
+                         sanitizer=sanitizer)
     print(f"{args.app} on {graph} with {result.scheduler_name}"
           + (f" from source {source}" if source is not None else ""))
     print(f"  simulated time   {result.seconds * 1e3:10.4f} ms")
@@ -183,6 +193,15 @@ def cmd_run(args: argparse.Namespace) -> int:
         metrics.set_gauge("run.gteps", result.gteps)
         out = write_json(metrics, args.emit_metrics)
         print(f"  metrics exported to {out}")
+    if sanitizer is not None:
+        print("sanitizer:")
+        for line in sanitizer.format_summary().splitlines():
+            print(f"  {line}")
+        if args.sanitize_report is not None:
+            sanitizer.write_json(args.sanitize_report)
+            print(f"  report written to {args.sanitize_report}")
+        if not sanitizer.clean:
+            return 3
     return 0
 
 
@@ -274,6 +293,12 @@ def build_parser() -> argparse.ArgumentParser:
                    help="check results against the reference oracle")
     p.add_argument("--emit-metrics", metavar="PATH", default=None,
                    help="write the hierarchical span/metrics JSON here")
+    p.add_argument("--sanitize", action="store_true",
+                   help="audit the run with the kernel hazard sanitizer "
+                        "(exit code 3 if it finds hazards)")
+    p.add_argument("--sanitize-report", metavar="PATH", default=None,
+                   help="write the sanitizer findings JSON here "
+                        "(implies --sanitize)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(

@@ -235,6 +235,13 @@ class SageScheduler(Scheduler):
         degrees_key, decomp, seg_starts, tiles_per_node, csr_sectors = (
             self._decompose_cached(degrees)
         )
+        if self.sanitizer is not None:
+            # Audit the scheduled work units: tiles + fragments must
+            # cover the expanded batch exactly (a decomposition gap
+            # would silently drop or double-count edges in accounting).
+            self.sanitizer.check_work_units(
+                decomp.tile_sizes, decomp.fragment_sizes, edge_dst.size
+            )
         raw_touches, acct = self._edge_accounting(degrees_key, edge_dst, seg_starts)
         touches, unique = value_sector_accounting(
             edge_dst, seg_starts, spec,

@@ -16,6 +16,7 @@ pipeline applies to the graph, the application state, the frontier and
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.gpusim.cost import KernelTiming
 from repro.gpusim.device import Device
 from repro.gpusim.profiler import Profiler
 from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import Sanitizer
 
 
 @dataclass
@@ -71,12 +75,18 @@ class TraversalPipeline:
         *,
         max_iterations: int = 100_000,
         metrics: MetricsRegistry | None = None,
+        sanitizer: "Sanitizer | None" = None,
     ) -> None:
         self.graph = graph
         self.scheduler = scheduler
         self.device = device or Device(scheduler.spec)
         self.max_iterations = max_iterations
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.sanitizer = sanitizer
+        if sanitizer is not None:
+            # Hook the device so every submitted kernel batch is audited
+            # (timing is unaffected; the check never advances the clock).
+            self.device.sanitizer = sanitizer
 
     def _timed_kernel(
         self, device: Device, stats, span_name: str, **attrs
@@ -102,6 +112,7 @@ class TraversalPipeline:
         scheduler = self.scheduler
         device = self.device
         metrics = self.metrics
+        sanitizer = self.sanitizer
         start_seconds = device.elapsed_seconds
 
         with metrics.span(
@@ -109,7 +120,11 @@ class TraversalPipeline:
         ) as run_span:
             app.setup(graph, source)
             scheduler.set_metrics(metrics)
+            scheduler.set_sanitizer(sanitizer)
             scheduler.reset(graph)
+            if sanitizer is not None:
+                sanitizer.set_metrics(metrics)
+                sanitizer.begin_run(graph, app)
             queue = FrontierQueue(app.initial_frontier())
             # total_perm maps original ids -> current ids across commits.
             total_perm: np.ndarray | None = None
@@ -133,6 +148,11 @@ class TraversalPipeline:
                     )
                     degrees = (graph.offsets[frontier + 1]
                                - graph.offsets[frontier])
+                    if sanitizer is not None:
+                        sanitizer.check_level(
+                            iterations, frontier, degrees, edge_dst,
+                            edge_pos if app.needs_edge_positions else None,
+                        )
                     stats = scheduler.kernel_stats(
                         frontier, degrees, edge_dst, graph, app
                     )
@@ -152,6 +172,10 @@ class TraversalPipeline:
 
                     commit = scheduler.post_level(graph)
                     if commit is not None:
+                        if sanitizer is not None:
+                            sanitizer.check_commit(
+                                commit.perm, graph.num_nodes
+                            )
                         update = self._timed_kernel(
                             device, commit.update_stats,
                             "kernel", kind="reorder-update",
@@ -162,6 +186,8 @@ class TraversalPipeline:
                         app.remap_nodes(commit.perm)
                         queue.remap(commit.perm)
                         scheduler.notify_reordered(commit.perm)
+                        if sanitizer is not None:
+                            sanitizer.notify_reordered(commit.perm)
                         total_perm = (
                             commit.perm if total_perm is None
                             else commit.perm[total_perm]
@@ -178,6 +204,8 @@ class TraversalPipeline:
             metrics.count("pipeline.iterations", iterations)
             metrics.count("pipeline.edges_traversed", edges_traversed)
             metrics.fold_profiler(device.profiler)
+            if sanitizer is not None:
+                sanitizer.end_run()
 
         self.graph = graph
         results = app.result()
@@ -216,7 +244,10 @@ def run_app(
     *,
     device: Device | None = None,
     metrics: MetricsRegistry | None = None,
+    sanitizer: "Sanitizer | None" = None,
 ) -> RunResult:
     """One-shot convenience wrapper around :class:`TraversalPipeline`."""
-    pipeline = TraversalPipeline(graph, scheduler, device, metrics=metrics)
+    pipeline = TraversalPipeline(
+        graph, scheduler, device, metrics=metrics, sanitizer=sanitizer
+    )
     return pipeline.run(app, source)

@@ -13,6 +13,7 @@ from __future__ import annotations
 
 from abc import ABC, abstractmethod
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -26,6 +27,9 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.spec import GPUSpec
 from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import Sanitizer
 
 #: Fraction of duplicate-address atomic updates that serialize, for
 #: atomic-aggregation apps (BC/PR, Section 7.2).
@@ -54,12 +58,19 @@ class Scheduler(ABC):
     def __init__(self, spec: GPUSpec | None = None) -> None:
         self.spec = spec or GPUSpec()
         self.metrics: MetricsRegistry = NULL_REGISTRY
+        self.sanitizer: "Sanitizer | None" = None
 
     def set_metrics(self, metrics: MetricsRegistry | None) -> None:
         """Attach the run's observability registry (pipelines call this
         before :meth:`reset`; the default sink is the disabled registry,
         so scheduler instrumentation is unconditional and zero-cost)."""
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+
+    def set_sanitizer(self, sanitizer: "Sanitizer | None") -> None:
+        """Attach (or detach) the run's hazard sanitizer.  Schedulers
+        with internal work-unit structure report it for auditing; the
+        default None keeps the hot path branch-predictable and free."""
+        self.sanitizer = sanitizer
 
     def reset(self, graph: CSRGraph) -> None:
         """Called once before a run; clears any per-run state."""

@@ -20,6 +20,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 
 import numpy as np
+import numpy.typing as npt
 
 from repro.errors import SchedulingError
 from repro.gpusim.memory import estimate_dram_sectors
@@ -58,7 +59,9 @@ class KernelStats:
 
     active_edges: int = 0
     issued_lane_cycles: int = 0
-    per_sm_lane_cycles: np.ndarray = field(default_factory=lambda: np.zeros(0))
+    per_sm_lane_cycles: npt.NDArray[np.float64] = field(
+        default_factory=lambda: np.zeros(0)
+    )
     value_sector_touches: int = 0
     value_sector_unique: int = 0
     csr_sector_touches: int = 0
@@ -174,7 +177,9 @@ class KernelCostModel:
         )
 
 
-def even_placement(total_lane_cycles: float, num_sms: int) -> np.ndarray:
+def even_placement(
+    total_lane_cycles: float, num_sms: int
+) -> npt.NDArray[np.float64]:
     """Work-conserving placement: every SM gets an equal share.
 
     This is what a device-global work queue (Resident Tile Stealing,
@@ -183,7 +188,9 @@ def even_placement(total_lane_cycles: float, num_sms: int) -> np.ndarray:
     return np.full(num_sms, total_lane_cycles / max(1, num_sms))
 
 
-def block_placement(per_block_lane_cycles: np.ndarray, num_sms: int) -> np.ndarray:
+def block_placement(
+    per_block_lane_cycles: npt.ArrayLike, num_sms: int
+) -> npt.NDArray[np.float64]:
     """Owner placement: blocks are bound round-robin to SMs.
 
     Work scheduled inside a block stays on its SM (no inter-SM stealing —

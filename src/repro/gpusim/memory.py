@@ -28,6 +28,21 @@ import numpy as np
 from repro.errors import InvalidParameterError
 
 
+def dtype_address_capacity(dtype: np.dtype) -> int | None:
+    """Largest value an integer dtype can hold, or None for non-integers.
+
+    The sanitizer's dtype-narrowing check: index arrays take part in
+    address arithmetic (``id * value_bytes``, sector ids), so a batch
+    carried in a dtype whose capacity is below the largest byte address
+    silently wraps.  Floating/object dtypes return None (no fixed
+    integer capacity to check against).
+    """
+    dtype = np.dtype(dtype)
+    if dtype.kind not in ("i", "u"):
+        return None
+    return int(np.iinfo(dtype).max)
+
+
 def sector_ids(addresses: np.ndarray, sector_width: int) -> np.ndarray:
     """Map element indices to sector ids."""
     if sector_width < 1:

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import json
 from pathlib import Path
-from typing import Any
+from typing import Any, cast
 
 from repro.obs.registry import MetricsRegistry
 
@@ -42,7 +42,7 @@ def write_json(registry: MetricsRegistry, path: str | Path) -> Path:
 
 def report_from_json(text: str) -> dict[str, Any]:
     """Parse a report produced by :func:`to_json` back to a dict."""
-    return json.loads(text)
+    return cast("dict[str, Any]", json.loads(text))
 
 
 def _escape(tag: str) -> str:

@@ -1,0 +1,173 @@
+"""Canonical registry of every metric and span name the library emits.
+
+Every ``metrics.count`` / ``set_counter`` / ``set_gauge`` / ``span`` call
+site in ``src/repro`` must use a name that resolves here; the SAGE002
+lint rule (:mod:`repro.analysis.lint`) enforces it at lint time and
+``tests/test_obs_names.py`` cross-checks the registry against the actual
+emit sites and the documentation, so a typo'd ``sage.*`` counter fails CI
+instead of silently starting a second, never-read time series.
+
+Two kinds of entries:
+
+* **static names** — the exact literals below (:data:`COUNTERS`,
+  :data:`GAUGES`, :data:`SPANS`), grouped per emitting subsystem so
+  drift reports point at the owner.
+* **dynamic families** — names constructed at runtime
+  (:data:`DYNAMIC_COUNTER_PREFIXES` etc.): the ``gpusim.*`` mirror of
+  the simulator profiler (field names are pinned separately by
+  :data:`~repro.obs.registry.PROFILER_COUNTER_FIELDS`), free-form
+  profiler events under ``gpusim.event.*``, and the ``gpu<N>.``
+  namespaces that :meth:`~repro.obs.registry.MetricsRegistry.merge`
+  prepends for per-device registries in multi-GPU runs.
+"""
+
+from __future__ import annotations
+
+import re
+
+#: ``sage.*`` counters emitted by the SAGE scheduler (``repro.core.engine``).
+#: This is the single canonical list; the engine's emit sites and the
+#: trajectory-benchmark carry-list are asserted against it.
+SAGE_COUNTERS: frozenset[str] = frozenset(
+    {
+        "sage.tiles",
+        "sage.tiles_expanded",
+        "sage.tiles_stolen_resident",
+        "sage.elections",
+        "sage.decomp_cache_hits",
+        "sage.edge_accounting_cache_hits",
+    }
+)
+
+#: Counters emitted by the traversal pipeline (``repro.core.pipeline``).
+PIPELINE_COUNTERS: frozenset[str] = frozenset(
+    {
+        "pipeline.runs",
+        "pipeline.iterations",
+        "pipeline.edges_traversed",
+        "pipeline.reorder_commits",
+    }
+)
+
+#: Counters emitted by sampling-based reordering (``repro.core.reorder``).
+REORDER_COUNTERS: frozenset[str] = frozenset(
+    {
+        "reorder.rounds",
+        "reorder.moved_nodes",
+        "reorder.sampled_pairs",
+        "reorder.sampled_tiles",
+    }
+)
+
+#: Counters emitted by the out-of-core runners (``repro.outofcore``).
+OOC_COUNTERS: frozenset[str] = frozenset(
+    {
+        "ooc.bytes_transferred",
+        "ooc.requests",
+        "ooc.transfer_seconds",
+    }
+)
+
+#: Counters emitted by the multi-GPU runner (``repro.multigpu``).
+MULTIGPU_COUNTERS: frozenset[str] = frozenset(
+    {
+        "multigpu.messages",
+        "multigpu.comm_seconds",
+        "multigpu.iterations",
+    }
+)
+
+#: Counters emitted by the kernel hazard sanitizer
+#: (``repro.analysis.sanitizer``): one per finding code plus bookkeeping.
+SANITIZER_COUNTERS: frozenset[str] = frozenset(
+    {
+        "sanitizer.findings",
+        "sanitizer.levels_checked",
+        "sanitizer.edges_checked",
+        "sanitizer.kernels_checked",
+        "sanitizer.write_write_hazard",
+        "sanitizer.oob_vertex_index",
+        "sanitizer.oob_edge_index",
+        "sanitizer.dtype_overflow",
+        "sanitizer.frontier_duplicates",
+        "sanitizer.nonmonotone_level",
+        "sanitizer.invalid_permutation",
+        "sanitizer.work_unit_gap",
+        "sanitizer.kernel_stats_inconsistent",
+    }
+)
+
+#: All statically-known counter names.
+COUNTERS: frozenset[str] = (
+    SAGE_COUNTERS
+    | PIPELINE_COUNTERS
+    | REORDER_COUNTERS
+    | OOC_COUNTERS
+    | MULTIGPU_COUNTERS
+    | SANITIZER_COUNTERS
+)
+
+#: All statically-known gauge names.
+GAUGES: frozenset[str] = frozenset(
+    {
+        "run.simulated_seconds",
+        "run.gteps",
+    }
+)
+
+#: All statically-known span names.
+SPANS: frozenset[str] = frozenset(
+    {
+        "run",
+        "iteration",
+        "kernel",
+        "ooc.run",
+        "multigpu.run",
+    }
+)
+
+#: Dynamic counter families: ``fold_profiler`` mirrors
+#: (``gpusim.<field>``, ``gpusim.event.<name>``) and per-device merge
+#: namespaces (``gpu<N>.<any registered name>``).
+DYNAMIC_COUNTER_PREFIXES: tuple[str, ...] = ("gpusim.",)
+
+#: Dynamic gauge families: ``fold_profiler`` derived gauges.
+DYNAMIC_GAUGE_PREFIXES: tuple[str, ...] = ("gpusim.",)
+
+_MERGE_NAMESPACE = re.compile(r"^gpu\d+\.")
+
+
+def _strip_merge_namespace(name: str) -> str:
+    """Drop one ``gpu<N>.`` namespace prepended by registry merges."""
+    return _MERGE_NAMESPACE.sub("", name, count=1)
+
+
+def is_counter(name: str) -> bool:
+    """Whether ``name`` is a registered counter (static or dynamic)."""
+    name = _strip_merge_namespace(name)
+    if name in COUNTERS:
+        return True
+    return name.startswith(DYNAMIC_COUNTER_PREFIXES)
+
+
+def is_gauge(name: str) -> bool:
+    """Whether ``name`` is a registered gauge (static or dynamic)."""
+    name = _strip_merge_namespace(name)
+    if name in GAUGES:
+        return True
+    return name.startswith(DYNAMIC_GAUGE_PREFIXES)
+
+
+def is_span(name: str) -> bool:
+    """Whether ``name`` is a registered span name."""
+    return name in SPANS
+
+
+def is_metric(name: str) -> bool:
+    """Whether ``name`` is a registered counter or gauge."""
+    return is_counter(name) or is_gauge(name)
+
+
+def registered_names() -> dict[str, frozenset[str]]:
+    """The full static registry, keyed by kind (for reports and tests)."""
+    return {"counters": COUNTERS, "gauges": GAUGES, "spans": SPANS}

@@ -92,7 +92,7 @@ class MetricsRegistry:
         return Span(self, name, dict(attributes))
 
     def _stack(self) -> list[Span]:
-        stack = getattr(self._local, "stack", None)
+        stack: list[Span] | None = getattr(self._local, "stack", None)
         if stack is None:
             stack = []
             self._local.stack = stack

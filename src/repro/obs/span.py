@@ -23,6 +23,7 @@ leaves a readable partial trace instead of a corrupted stack.
 from __future__ import annotations
 
 import time
+from types import TracebackType
 from typing import TYPE_CHECKING, Any
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -66,9 +67,14 @@ class Span:
         self._start = time.perf_counter()
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         self.duration_s = time.perf_counter() - self._start
-        if exc is not None:
+        if exc_type is not None:
             self.attributes["error"] = f"{exc_type.__name__}: {exc}"
         self._registry._close_span(self)
         return False  # never swallow
@@ -120,7 +126,12 @@ class NullSpan:
     def __enter__(self) -> "NullSpan":
         return self
 
-    def __exit__(self, exc_type, exc, tb) -> bool:
+    def __exit__(
+        self,
+        exc_type: type[BaseException] | None,
+        exc: BaseException | None,
+        tb: TracebackType | None,
+    ) -> bool:
         return False
 
 

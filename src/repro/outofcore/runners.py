@@ -24,6 +24,8 @@ costs remain inside the kernel model.
 
 from __future__ import annotations
 
+from typing import TYPE_CHECKING
+
 import numpy as np
 
 from repro.apps.base import App
@@ -39,6 +41,9 @@ from repro.gpusim.spec import GPUSpec, LinkSpec, PCIE3_X16
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.outofcore.layout import GraphLayout, layout_for
 from repro.outofcore.pool import SectorPool, contiguous_runs
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import Sanitizer
 
 #: Subway's subgraph generation scans the full host-resident edge list
 #: to compact the active edges each round (SIMD-assisted).
@@ -72,6 +77,11 @@ class _OutOfCoreBase:
         self.transfer_seconds_total = 0.0
         self.bytes_transferred = 0
         self.requests_issued = 0
+        self.sanitizer: "Sanitizer | None" = None
+
+    def set_sanitizer(self, sanitizer: "Sanitizer | None") -> None:
+        """Attach (or detach) a hazard sanitizer for subsequent runs."""
+        self.sanitizer = sanitizer
 
     def run(
         self,
@@ -83,7 +93,8 @@ class _OutOfCoreBase:
     ) -> RunResult:
         """Run ``app`` out-of-core and return timing including transfers."""
         metrics = self.metrics
-        device = Device(self.scheduler.spec)
+        sanitizer = self.sanitizer
+        device = Device(self.scheduler.spec, sanitizer=sanitizer)
         layout = layout_for(graph, self.scheduler.spec)
         with metrics.span(
             "ooc.run", runner=self.name, app=app.name,
@@ -92,7 +103,11 @@ class _OutOfCoreBase:
             self._start(graph, layout)
             app.setup(graph, source)
             self.scheduler.set_metrics(metrics)
+            self.scheduler.set_sanitizer(sanitizer)
             self.scheduler.reset(graph)
+            if sanitizer is not None:
+                sanitizer.set_metrics(metrics)
+                sanitizer.begin_run(graph, app)
             queue = FrontierQueue(app.initial_frontier())
             seconds = 0.0
             edges_traversed = 0
@@ -115,9 +130,19 @@ class _OutOfCoreBase:
                     )
                     degrees = (graph.offsets[frontier + 1]
                                - graph.offsets[frontier])
+                    if sanitizer is not None:
+                        sanitizer.check_level(
+                            iterations, frontier, degrees, edge_dst,
+                            edge_pos,
+                        )
                     stats = self.scheduler.kernel_stats(
                         frontier, degrees, edge_dst, graph, app
                     )
+                    if sanitizer is not None:
+                        # Kernels here bypass Device.run_kernel (the
+                        # timing is merged with transfer overlap), so
+                        # audit the batch stats explicitly.
+                        sanitizer.check_kernel_stats(stats, device.spec)
                     kernel_seconds = device.spec.cycles_to_seconds(
                         device.cost_model.time_kernel(stats).cycles
                     )
@@ -154,6 +179,8 @@ class _OutOfCoreBase:
             metrics.count("ooc.requests", self.requests_issued)
             metrics.count("ooc.transfer_seconds", self.transfer_seconds_total)
             metrics.fold_profiler(device.profiler)
+            if sanitizer is not None:
+                sanitizer.end_run()
         result = RunResult(
             app_name=app.name,
             scheduler_name=self.name,

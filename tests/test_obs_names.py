@@ -1,0 +1,126 @@
+"""Metric-name drift tests: one canonical registry, zero drift.
+
+The :mod:`repro.obs.names` registry is the single source of truth for
+every counter/gauge/span name the library emits.  These tests pin it
+from three directions: the actual emit sites in ``src/repro`` (via the
+SAGE002 lint rule), the derived name sets (sanitizer finding codes, the
+bench carry-list), and the documentation.
+"""
+
+import ast
+import pathlib
+import re
+
+from repro.analysis.lint import lint_paths
+from repro.analysis.sanitizer import FINDING_CODES
+from repro.obs import names
+
+ROOT = pathlib.Path(__file__).resolve().parent.parent
+SRC = ROOT / "src" / "repro"
+
+
+class TestEmitSitesResolve:
+    def test_no_sage002_violations_in_src(self):
+        """Every literal metric/span name in the library resolves."""
+        violations = [
+            v for v in lint_paths([SRC], ROOT) if v.rule == "SAGE002"
+        ]
+        assert violations == [], "\n".join(str(v) for v in violations)
+
+    def test_engine_emits_exactly_the_sage_counters(self):
+        """The engine's ``sage.*`` literals == the canonical list.
+
+        A counter added to the engine without registering it (or
+        registered without an emit site) is drift either way.
+        """
+        tree = ast.parse(
+            (SRC / "core" / "engine.py").read_text(encoding="utf-8")
+        )
+        emitted = {
+            node.value
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Constant)
+            and isinstance(node.value, str)
+            and node.value.startswith("sage.")
+        }
+        assert emitted == set(names.SAGE_COUNTERS)
+
+    def test_sanitizer_counters_track_finding_codes(self):
+        expected = {f"sanitizer.{code}" for code in FINDING_CODES} | {
+            "sanitizer.findings",
+            "sanitizer.levels_checked",
+            "sanitizer.edges_checked",
+            "sanitizer.kernels_checked",
+        }
+        assert set(names.SANITIZER_COUNTERS) == expected
+
+    def test_bench_carry_list_is_registered(self):
+        """The trajectory benchmark only carries registered counters."""
+        source = (ROOT / "benchmarks" / "bench_trajectory.py").read_text(
+            encoding="utf-8"
+        )
+        carried = set(re.findall(r'"((?:sage|ooc)\.[a-z_]+)"', source))
+        assert carried, "carry-list not found in bench_trajectory.py"
+        assert carried <= set(names.COUNTERS)
+
+
+class TestRegistryStructure:
+    def test_counters_is_the_union_of_subsystem_sets(self):
+        union = (
+            names.SAGE_COUNTERS
+            | names.PIPELINE_COUNTERS
+            | names.REORDER_COUNTERS
+            | names.OOC_COUNTERS
+            | names.MULTIGPU_COUNTERS
+            | names.SANITIZER_COUNTERS
+        )
+        assert names.COUNTERS == union
+
+    def test_kinds_do_not_overlap(self):
+        assert not names.COUNTERS & names.GAUGES
+
+    def test_registered_names_report(self):
+        report = names.registered_names()
+        assert report["counters"] == names.COUNTERS
+        assert report["gauges"] == names.GAUGES
+        assert report["spans"] == names.SPANS
+
+
+class TestPredicates:
+    def test_static_lookups(self):
+        assert names.is_counter("sage.tiles")
+        assert names.is_counter("sanitizer.findings")
+        assert names.is_gauge("run.gteps")
+        assert names.is_span("iteration")
+        assert not names.is_counter("sage.tiles_exploded")
+        assert not names.is_gauge("sage.tiles")
+        assert not names.is_span("iterashun")
+
+    def test_dynamic_gpusim_family(self):
+        assert names.is_counter("gpusim.kernels")
+        assert names.is_counter("gpusim.event.steal_rounds")
+        assert names.is_gauge("gpusim.lane_efficiency")
+
+    def test_merge_namespace_is_stripped(self):
+        assert names.is_counter("gpu0.sage.tiles")
+        assert names.is_counter("gpu13.gpusim.kernels")
+        assert not names.is_counter("gpu0.sage.tiles_exploded")
+        # only one namespace level is stripped
+        assert not names.is_counter("gpu0.gpu1.sage.tiles")
+
+    def test_is_metric_union(self):
+        assert names.is_metric("sage.tiles")
+        assert names.is_metric("run.gteps")
+        assert not names.is_metric("iteration")
+
+
+class TestDocumentation:
+    def test_design_documents_every_finding_code(self):
+        design = (ROOT / "DESIGN.md").read_text(encoding="utf-8")
+        for code in FINDING_CODES:
+            assert code in design, f"{code} missing from DESIGN.md"
+
+    def test_readme_documents_the_tools(self):
+        readme = (ROOT / "README.md").read_text(encoding="utf-8")
+        assert "--sanitize" in readme
+        assert "repro.analysis.lint" in readme
