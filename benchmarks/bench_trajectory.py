@@ -56,6 +56,11 @@ GATED_METRICS = (
 #: paper-shaped graph sizes the vectorized hot paths make affordable.
 SCALE_UP_RMAT_SCALE = 17
 
+#: The serving tier must amortize device work at least this much versus
+#: one-query-at-a-time service (acceptance floor, enforced every run —
+#: virtual-time, so deterministic across machines).
+SERVE_SPEEDUP_FLOOR = 2.0
+
 
 def _graph(smoke: bool):
     scale = 10 if smoke else 13
@@ -106,6 +111,48 @@ def _workloads(smoke: bool, sanitizer=None):
     return workloads
 
 
+def _serve_row(smoke: bool) -> dict:
+    """The serving tier: open-loop micro-batched service, virtual time.
+
+    Everything in the row except wall time is simulated/deterministic
+    (seeded arrivals, virtual-time batching), so ``simulated_seconds``
+    — the total device time of the batched service — is gated like any
+    other workload, and the speedup floor is enforced unconditionally.
+    """
+    from repro.serve import (
+        generate_queries,
+        open_loop_arrivals,
+        sequential_baseline,
+        simulate_open_loop,
+    )
+
+    graph = _graph(smoke)
+    num_queries = 64 if smoke else 192
+    requests = generate_queries(
+        "bench", graph.num_nodes, num_queries, seed=7
+    )
+    arrivals = open_loop_arrivals(num_queries, rate_qps=400.0, seed=7)
+    wall_start = time.perf_counter()
+    sequential = sequential_baseline(graph, requests, SageScheduler)
+    _, report = simulate_open_loop(
+        graph, requests, arrivals, SageScheduler,
+        batch_window=0.05, max_batch_size=64, num_workers=2,
+        sequential_seconds=sequential,
+    )
+    wall = time.perf_counter() - wall_start
+    assert report.status_counts == {"ok": num_queries}
+    return {
+        "simulated_seconds": report.sim_seconds_total,
+        "serve_sequential_seconds": report.sequential_seconds,
+        "serve_speedup_vs_sequential": report.speedup_vs_sequential,
+        "serve_batch_occupancy_mean": report.batch_occupancy_mean,
+        "serve_num_batches": float(report.num_batches),
+        "serve_throughput_qps": report.throughput_qps,
+        "serve_latency_p95": report.latency_p95,
+        "wall_seconds": wall,  # informational, never gated
+    }
+
+
 def run_suite(smoke: bool, sanitizer=None) -> dict:
     """Execute the suite; returns the BENCH_repro.json payload.
 
@@ -143,6 +190,13 @@ def run_suite(smoke: bool, sanitizer=None) -> dict:
         print(f"  {name:24s} cycles={row['total_cycles']:14.1f} "
               f"sim={row['simulated_seconds'] * 1e3:9.4f} ms "
               f"wall={wall:6.2f} s")
+    serve = _serve_row(smoke)
+    rows["serve_openloop"] = serve
+    print(f"  {'serve_openloop':24s} "
+          f"speedup={serve['serve_speedup_vs_sequential']:7.2f}x "
+          f"occ={serve['serve_batch_occupancy_mean']:5.2f} "
+          f"sim={serve['simulated_seconds'] * 1e3:9.4f} ms "
+          f"wall={serve['wall_seconds']:6.2f} s")
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "smoke" if smoke else "full",
@@ -227,6 +281,16 @@ def main(argv: list[str] | None = None) -> int:
 
     print(f"bench_trajectory: suite={'smoke' if args.smoke else 'full'}")
     current = run_suite(args.smoke, sanitizer)
+
+    serve = current["workloads"]["serve_openloop"]
+    if serve["serve_speedup_vs_sequential"] < SERVE_SPEEDUP_FLOOR:
+        print(
+            f"serving tier below the speedup floor: "
+            f"{serve['serve_speedup_vs_sequential']:.2f}x < "
+            f"{SERVE_SPEEDUP_FLOOR:.1f}x vs one-query-at-a-time",
+            file=sys.stderr,
+        )
+        return 1
 
     if sanitizer is not None:
         if not sanitizer.clean:

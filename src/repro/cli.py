@@ -10,6 +10,8 @@ Subcommands:
 * ``reorder``   — apply a reordering method, report locality + cost
 * ``scc``       — strongly-connected-component decomposition
 * ``experiment``— regenerate one paper table/figure from the harness
+* ``serve-bench``— load-test the batched query service (closed- or
+  open-loop, fixed seeds; open-loop runs in deterministic virtual time)
 """
 
 from __future__ import annotations
@@ -264,6 +266,81 @@ def cmd_experiment(args: argparse.Namespace) -> int:
     return 0
 
 
+def _parse_mix(spec: str) -> dict[str, float]:
+    """``bfs=0.8,pr=0.1,sssp=0.1`` -> weight dict."""
+    mix: dict[str, float] = {}
+    for part in spec.split(","):
+        kind, _, weight = part.partition("=")
+        mix[kind.strip()] = float(weight)
+    return mix
+
+
+def cmd_serve_bench(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        generate_queries,
+        open_loop_arrivals,
+        publish_report_gauges,
+        run_closed_loop,
+        sequential_baseline,
+        simulate_open_loop,
+    )
+
+    graph = _load_graph(args)
+    mix = _parse_mix(args.mix) if args.mix else None
+    requests = generate_queries(
+        "bench", graph.num_nodes, args.queries,
+        mix=mix, deadline_seconds=args.deadline, seed=args.seed,
+    )
+    metrics = MetricsRegistry() if args.emit_metrics else None
+    scheduler_factory = SCHEDULERS[args.scheduler]
+    if args.mode == "open":
+        arrivals = open_loop_arrivals(
+            args.queries, rate_qps=args.rate, seed=args.seed
+        )
+        sequential = sequential_baseline(graph, requests, scheduler_factory)
+        _, report = simulate_open_loop(
+            graph, requests, arrivals, scheduler_factory,
+            batch_window=args.batch_window,
+            max_batch_size=args.max_batch_size,
+            num_workers=args.workers,
+            sequential_seconds=sequential,
+            metrics=metrics,
+        )
+    else:
+        _, report = run_closed_loop(
+            "bench", graph, requests, scheduler_factory,
+            concurrency=args.concurrency,
+            batch_window=args.batch_window,
+            max_batch_size=args.max_batch_size,
+            num_workers=args.workers,
+            metrics=metrics,
+        )
+    unit = "virtual s" if args.mode == "open" else "wall s"
+    print(f"serve-bench ({report.mode}) on {graph}")
+    statuses = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.status_counts.items())
+    )
+    print(f"  queries           {report.num_queries:10d}   ({statuses})")
+    print(f"  batches           {report.num_batches:10d}"
+          f"   occupancy {report.batch_occupancy_mean:.2f}")
+    print(f"  makespan          {report.makespan_seconds:10.4f} {unit}")
+    print(f"  throughput        {report.throughput_qps:10.2f} qps")
+    print(f"  latency p50/95/99 {report.latency_p50:10.4f}"
+          f" / {report.latency_p95:.4f} / {report.latency_p99:.4f} {unit}")
+    if report.sequential_seconds > 0:
+        print(f"  device time       {report.sim_seconds_total:10.6f} s"
+              f"   (sequential {report.sequential_seconds:.6f} s)")
+        print(f"  speedup vs 1-at-a-time {report.speedup_vs_sequential:7.2f}x")
+    else:
+        print("  speedup vs 1-at-a-time     n/a (wall-clock mode)")
+    if args.emit_metrics:
+        assert metrics is not None
+        publish_report_gauges(metrics, report)
+        out = write_json(metrics, args.emit_metrics)
+        print(f"  metrics exported to {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -325,6 +402,33 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("name", choices=sorted(EXPERIMENTS))
     p.add_argument("--scale", type=float, default=0.3)
     p.set_defaults(fn=cmd_experiment)
+
+    p = sub.add_parser(
+        "serve-bench",
+        help="load-test the batched query service (seeded)",
+    )
+    _add_graph_args(p)
+    p.add_argument("--mode", choices=("open", "closed"), default="open",
+                   help="open: deterministic virtual-time simulator; "
+                        "closed: threaded broker, wall-clock")
+    p.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="sage")
+    p.add_argument("--queries", type=int, default=64)
+    p.add_argument("--rate", type=float, default=200.0,
+                   help="open-loop Poisson arrival rate (qps)")
+    p.add_argument("--concurrency", type=int, default=4,
+                   help="closed-loop client threads")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="micro-batching window (seconds)")
+    p.add_argument("--max-batch-size", type=int, default=64)
+    p.add_argument("--workers", type=int, default=2)
+    p.add_argument("--mix", default=None,
+                   help="app mix, e.g. bfs=0.8,pr=0.1,sssp=0.1")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-query latency budget (seconds)")
+    p.add_argument("--seed", type=int, default=0)
+    p.add_argument("--emit-metrics", metavar="PATH", default=None,
+                   help="write the serve.* metrics JSON here")
+    p.set_defaults(fn=cmd_serve_bench)
 
     return parser
 

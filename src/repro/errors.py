@@ -34,3 +34,23 @@ class SimulationError(ReproError):
 
 class ConvergenceError(ReproError):
     """An iterative computation failed to converge within its budget."""
+
+
+class ServiceError(ReproError):
+    """Base class for errors raised by the query service (`repro.serve`)."""
+
+
+class AdmissionError(ServiceError):
+    """A request was refused at admission (bounded queue full / shedding)."""
+
+
+class DeadlineExceededError(ServiceError):
+    """A request's deadline passed before a result could be delivered."""
+
+
+class WorkerFailureError(ServiceError):
+    """A service worker failed while executing a batch.
+
+    Wraps the underlying cause so callers see a structured service error
+    while the original exception type/message stay inspectable.
+    """

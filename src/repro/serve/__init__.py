@@ -1,0 +1,78 @@
+"""Asynchronous batched traversal query service.
+
+The serving layer of the reproduction: typed query requests, a
+micro-batcher that coalesces compatible queries into MS-BFS-style
+batched kernels, a bounded-queue broker with a worker pool over the
+simulated multi-GPU runtime, and seeded closed-/open-loop load
+generators.  See the README "Serving" section for the API tour and
+DESIGN.md for why micro-batching preserves the cost model's
+comparisons.
+"""
+
+from repro.serve.batching import (
+    Batch,
+    BatchItem,
+    MicroBatcher,
+    batch_key,
+    occupancy_mean,
+)
+from repro.serve.broker import (
+    BrokerStats,
+    PendingQuery,
+    QueryBroker,
+    raise_for_status,
+)
+from repro.serve.executor import (
+    BatchExecution,
+    BatchExecutor,
+    make_single_app,
+    run_direct,
+)
+from repro.serve.loadgen import (
+    DEFAULT_MIX,
+    DEFAULT_PARAMS,
+    ServeBenchReport,
+    generate_queries,
+    open_loop_arrivals,
+    publish_report_gauges,
+    run_closed_loop,
+    sequential_baseline,
+    simulate_open_loop,
+)
+from repro.serve.request import (
+    SERVE_APPS,
+    QueryRequest,
+    QueryResponse,
+    QueryStatus,
+    normalize_params,
+)
+
+__all__ = [
+    "Batch",
+    "BatchExecution",
+    "BatchExecutor",
+    "BatchItem",
+    "BrokerStats",
+    "DEFAULT_MIX",
+    "DEFAULT_PARAMS",
+    "MicroBatcher",
+    "PendingQuery",
+    "QueryBroker",
+    "QueryRequest",
+    "QueryResponse",
+    "QueryStatus",
+    "SERVE_APPS",
+    "ServeBenchReport",
+    "batch_key",
+    "generate_queries",
+    "make_single_app",
+    "normalize_params",
+    "occupancy_mean",
+    "open_loop_arrivals",
+    "publish_report_gauges",
+    "raise_for_status",
+    "run_closed_loop",
+    "run_direct",
+    "sequential_baseline",
+    "simulate_open_loop",
+]

@@ -1,0 +1,214 @@
+"""Batch execution: one batched kernel sequence answers many queries.
+
+The executor is where micro-batching pays off.  A batch of BFS queries
+is rewritten into MS-BFS runs (:class:`~repro.apps.msbfs.MultiSourceBFSApp`
+packs up to 64 sources into one bit-parallel traversal); PageRank-family
+queries that differ only in parameters are answered by a single run
+shared across the batch; per-source apps without a batched formulation
+(SSSP, personalized PR) run once per *unique* source, so duplicate
+sources still coalesce.  Every run goes through the existing
+:class:`~repro.multigpu.runner.MultiGpuRunner`, which with one device is
+bit-identical to the direct :func:`~repro.core.pipeline.run_app` path —
+the invariant the differential harness in ``tests/serve/`` pins.
+
+:func:`run_direct` is the sequential oracle the service is tested (and
+benchmarked) against: one plain ``run_app`` per query.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.apps import (
+    BFSApp,
+    MultiSourceBFSApp,
+    PageRankApp,
+    PersonalizedPageRankApp,
+    SSSPApp,
+)
+from repro.apps.base import App
+from repro.apps.msbfs import MAX_SOURCES
+from repro.core.pipeline import RunResult, run_app
+from repro.core.scheduler import Scheduler
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.multigpu import MultiGpuRunner, chunk_partition
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.serve.request import QueryRequest
+
+
+def make_single_app(kind: str, params: dict[str, Any]) -> App:
+    """The per-query app the direct oracle runs (no batching)."""
+    if kind == "bfs":
+        if params:
+            raise InvalidParameterError(f"bfs takes no params, got {params}")
+        return BFSApp()
+    if kind == "sssp":
+        if params:
+            raise InvalidParameterError(f"sssp takes no params, got {params}")
+        return SSSPApp()
+    if kind == "pr":
+        return PageRankApp(**params)
+    if kind == "ppr":
+        return PersonalizedPageRankApp(**params)
+    raise InvalidParameterError(f"unknown serve app {kind!r}")
+
+
+def run_direct(
+    graph: CSRGraph,
+    request: QueryRequest,
+    scheduler_factory: Callable[[], Scheduler],
+    *,
+    metrics: MetricsRegistry | None = None,
+) -> RunResult:
+    """Answer one query with the direct single-query pipeline (oracle)."""
+    app = make_single_app(request.app, request.param_dict())
+    return run_app(
+        graph, app, scheduler_factory(), request.source, metrics=metrics
+    )
+
+
+@dataclass
+class BatchExecution:
+    """Outcome of executing one batch.
+
+    ``results`` is aligned with the input request list; every entry is a
+    fresh dict with copied arrays so responses never alias each other.
+    ``sim_seconds`` is the total simulated device time of the batch (the
+    worker executes its internal runs serially).
+    """
+
+    results: list[dict[str, np.ndarray]]
+    sim_seconds: float
+    runs: list[RunResult] = field(default_factory=list)
+
+    @property
+    def num_runs(self) -> int:
+        return len(self.runs)
+
+
+class BatchExecutor:
+    """Executes batches of compatible queries on simulated devices."""
+
+    def __init__(
+        self,
+        scheduler_factory: Callable[[], Scheduler],
+        *,
+        num_gpus: int = 1,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if num_gpus < 1:
+            raise InvalidParameterError("num_gpus must be >= 1")
+        self.scheduler_factory = scheduler_factory
+        self.num_gpus = num_gpus
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+
+    # ------------------------------------------------------------------
+    # Run plumbing (overridable: fault-injection tests subclass this)
+    # ------------------------------------------------------------------
+
+    def _run(
+        self, graph: CSRGraph, app: App, source: int | None = None
+    ) -> RunResult:
+        """One traversal on a fresh runner (clean per-run profiler)."""
+        run_registry = MetricsRegistry(enabled=self.metrics.enabled)
+        runner = MultiGpuRunner(
+            self.scheduler_factory,
+            chunk_partition(graph.num_nodes, self.num_gpus),
+            num_gpus=self.num_gpus,
+            metrics=run_registry,
+        )
+        result = runner.run(graph, app, source)
+        # Per-run registries are summed into the executor's registry;
+        # folding devices directly into a shared registry would snapshot-
+        # overwrite the gpusim.* counters of earlier runs.
+        self.metrics.merge(run_registry)
+        return result
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+
+    def execute(
+        self, graph: CSRGraph, requests: list[QueryRequest]
+    ) -> BatchExecution:
+        """Answer every request in one compatible batch."""
+        if not requests:
+            return BatchExecution(results=[], sim_seconds=0.0)
+        kind = requests[0].app
+        params = requests[0].params
+        for req in requests[1:]:
+            if req.app != kind or req.params != params:
+                raise InvalidParameterError(
+                    "batch mixes incompatible queries "
+                    f"({kind}/{params} vs {req.app}/{req.params})"
+                )
+        if kind == "bfs":
+            return self._execute_bfs(graph, requests)
+        if kind in ("sssp", "ppr"):
+            return self._execute_per_source(graph, requests)
+        if kind == "pr":
+            return self._execute_shared(graph, requests)
+        raise InvalidParameterError(f"unknown serve app {kind!r}")
+
+    def _execute_bfs(
+        self, graph: CSRGraph, requests: list[QueryRequest]
+    ) -> BatchExecution:
+        """All BFS queries of a batch ride MS-BFS bit-parallel runs."""
+        sources = np.array([req.source for req in requests], dtype=np.int64)
+        unique = np.unique(sources)
+        row_of: dict[int, tuple[int, int]] = {}
+        runs: list[RunResult] = []
+        seconds = 0.0
+        for start in range(0, unique.size, MAX_SOURCES):
+            chunk = unique[start:start + MAX_SOURCES]
+            result = self._run(graph, MultiSourceBFSApp(chunk))
+            for row, src in enumerate(chunk.tolist()):
+                row_of[src] = (len(runs), row)
+            runs.append(result)
+            seconds += result.seconds
+        results = []
+        for req in requests:
+            run_idx, row = row_of[int(req.source)]  # type: ignore[arg-type]
+            levels = runs[run_idx].result["levels"]
+            results.append({"dist": np.asarray(levels[row]).copy()})
+        return BatchExecution(results=results, sim_seconds=seconds, runs=runs)
+
+    def _execute_per_source(
+        self, graph: CSRGraph, requests: list[QueryRequest]
+    ) -> BatchExecution:
+        """One run per unique source; duplicate sources share it."""
+        params = requests[0].param_dict()
+        by_source: dict[int, dict[str, np.ndarray]] = {}
+        runs: list[RunResult] = []
+        seconds = 0.0
+        for source in sorted({int(req.source) for req in requests}):  # type: ignore[arg-type]
+            app = make_single_app(requests[0].app, params)
+            result = self._run(graph, app, source)
+            by_source[source] = result.result
+            runs.append(result)
+            seconds += result.seconds
+        results = [
+            {k: np.asarray(v).copy()
+             for k, v in by_source[int(req.source)].items()}  # type: ignore[arg-type]
+            for req in requests
+        ]
+        return BatchExecution(results=results, sim_seconds=seconds, runs=runs)
+
+    def _execute_shared(
+        self, graph: CSRGraph, requests: list[QueryRequest]
+    ) -> BatchExecution:
+        """Source-independent apps: one run answers the whole batch."""
+        app = make_single_app(requests[0].app, requests[0].param_dict())
+        result = self._run(graph, app)
+        results = [
+            {k: np.asarray(v).copy() for k, v in result.result.items()}
+            for _ in requests
+        ]
+        return BatchExecution(
+            results=results, sim_seconds=result.seconds, runs=[result]
+        )

@@ -1,0 +1,411 @@
+"""Load generation and serving benchmarks (closed- and open-loop).
+
+Two execution modes share the query generator and the report format:
+
+* :func:`simulate_open_loop` — a **deterministic virtual-time** model of
+  the service: queries arrive on a fixed (seeded) Poisson schedule, the
+  pure :class:`~repro.serve.batching.MicroBatcher` forms the exact same
+  batches every run, and a greedy earliest-free-worker assignment plays
+  the batches onto ``num_workers`` simulated devices.  All times are
+  *simulated* seconds, so the serving benchmark tier can be gated in CI
+  like every other trajectory metric.
+* :func:`run_closed_loop` — drives the real threaded
+  :class:`~repro.serve.broker.QueryBroker` with ``concurrency`` client
+  threads (each submits, waits, repeats).  Wall-clock mode: useful for
+  exercising the broker end to end, not for gating.
+
+The speedup both report is against the **sequential baseline**: the sum
+of one-query-at-a-time :func:`~repro.serve.executor.run_direct` oracle
+runs over the identical query list.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import Any
+
+import numpy as np
+
+from repro.core.scheduler import Scheduler
+from repro.errors import DeadlineExceededError, InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.obs import MetricsRegistry
+from repro.serve.batching import MicroBatcher, occupancy_mean
+from repro.serve.broker import QueryBroker
+from repro.serve.executor import BatchExecutor, run_direct
+from repro.serve.request import QueryRequest, QueryResponse, QueryStatus
+
+#: Default per-app parameter presets used by the query generator.
+DEFAULT_PARAMS: dict[str, dict[str, Any]] = {
+    "bfs": {},
+    "sssp": {},
+    "pr": {"max_iterations": 10},
+    "ppr": {"max_iterations": 10},
+}
+
+#: Default app mix of the serving benchmark (BFS-heavy, as a traversal
+#: service would be; PR rides along to exercise shared-run batching).
+DEFAULT_MIX: dict[str, float] = {"bfs": 0.8, "pr": 0.1, "sssp": 0.1}
+
+
+def generate_queries(
+    graph_name: str,
+    num_nodes: int,
+    num_queries: int,
+    *,
+    mix: Mapping[str, float] | None = None,
+    params: Mapping[str, dict[str, Any]] | None = None,
+    deadline_seconds: float | None = None,
+    seed: int = 0,
+) -> list[QueryRequest]:
+    """A seeded random query mix over one graph handle."""
+    if num_queries < 1:
+        raise InvalidParameterError("num_queries must be >= 1")
+    mix = dict(mix if mix is not None else DEFAULT_MIX)
+    presets = dict(DEFAULT_PARAMS)
+    presets.update(params or {})
+    kinds = sorted(mix)
+    weights = np.array([mix[k] for k in kinds], dtype=np.float64)
+    if weights.min() < 0 or weights.sum() <= 0:
+        raise InvalidParameterError(f"invalid app mix {mix}")
+    rng = np.random.default_rng(seed)
+    chosen = rng.choice(len(kinds), size=num_queries, p=weights / weights.sum())
+    sources = rng.integers(0, num_nodes, size=num_queries)
+    requests = []
+    for kind_idx, source in zip(chosen.tolist(), sources.tolist()):
+        kind = kinds[kind_idx]
+        requests.append(
+            QueryRequest(
+                app=kind,
+                graph=graph_name,
+                source=None if kind == "pr" else int(source),
+                params=tuple(sorted(presets.get(kind, {}).items())),
+                deadline_seconds=deadline_seconds,
+            )
+        )
+    return requests
+
+
+def open_loop_arrivals(
+    num_queries: int, rate_qps: float, *, seed: int = 0
+) -> np.ndarray:
+    """Seeded Poisson arrival times (seconds), anchored at t=0."""
+    if rate_qps <= 0:
+        raise InvalidParameterError("rate_qps must be > 0")
+    rng = np.random.default_rng(seed)
+    gaps = rng.exponential(scale=1.0 / rate_qps, size=num_queries)
+    arrivals = np.cumsum(gaps)
+    return arrivals - arrivals[0]
+
+
+@dataclass
+class ServeBenchReport:
+    """Summary of one serving-benchmark run (see ``to_dict`` for JSON)."""
+
+    mode: str
+    num_queries: int
+    num_batches: int
+    batch_occupancy_mean: float
+    makespan_seconds: float
+    sequential_seconds: float
+    latency_p50: float
+    latency_p95: float
+    latency_p99: float
+    status_counts: dict[str, int] = field(default_factory=dict)
+    sim_seconds_total: float = 0.0
+
+    @property
+    def throughput_qps(self) -> float:
+        served = self.status_counts.get(QueryStatus.OK.value, 0)
+        if self.makespan_seconds <= 0:
+            return 0.0
+        return served / self.makespan_seconds
+
+    @property
+    def sequential_qps(self) -> float:
+        if self.sequential_seconds <= 0:
+            return 0.0
+        return self.num_queries / self.sequential_seconds
+
+    @property
+    def speedup_vs_sequential(self) -> float:
+        """Device-time amortization: sequential ÷ batched sim seconds.
+
+        End-to-end makespan is dominated by the arrival schedule and the
+        batching window, so the serving claim — batching reduces the
+        device work per query, i.e. raises sustainable throughput — is
+        measured in the simulated-device-time domain: total oracle
+        seconds over the same query list divided by the batched
+        service's total simulated seconds.
+        """
+        if self.sequential_seconds <= 0 or self.sim_seconds_total <= 0:
+            return 0.0
+        return self.sequential_seconds / self.sim_seconds_total
+
+    def to_dict(self) -> dict[str, Any]:
+        return {
+            "mode": self.mode,
+            "num_queries": self.num_queries,
+            "num_batches": self.num_batches,
+            "batch_occupancy_mean": self.batch_occupancy_mean,
+            "makespan_seconds": self.makespan_seconds,
+            "sequential_seconds": self.sequential_seconds,
+            "throughput_qps": self.throughput_qps,
+            "sequential_qps": self.sequential_qps,
+            "speedup_vs_sequential": self.speedup_vs_sequential,
+            "latency_p50": self.latency_p50,
+            "latency_p95": self.latency_p95,
+            "latency_p99": self.latency_p99,
+            "status_counts": dict(self.status_counts),
+            "sim_seconds_total": self.sim_seconds_total,
+        }
+
+
+def publish_report_gauges(
+    metrics: MetricsRegistry, report: ServeBenchReport
+) -> None:
+    """Mirror a bench report into the ``serve.*`` gauges."""
+    metrics.set_gauge("serve.batch_occupancy_mean",
+                      report.batch_occupancy_mean)
+    metrics.set_gauge("serve.latency_p50", report.latency_p50)
+    metrics.set_gauge("serve.latency_p95", report.latency_p95)
+    metrics.set_gauge("serve.latency_p99", report.latency_p99)
+    metrics.set_gauge("serve.throughput_qps", report.throughput_qps)
+    metrics.set_gauge("serve.speedup_vs_sequential",
+                      report.speedup_vs_sequential)
+
+
+def sequential_baseline(
+    graph: CSRGraph,
+    requests: list[QueryRequest],
+    scheduler_factory: Callable[[], Scheduler],
+) -> float:
+    """Total simulated seconds of one-query-at-a-time oracle service."""
+    return sum(
+        run_direct(graph, request, scheduler_factory).seconds
+        for request in requests
+    )
+
+
+def _percentiles(latencies: list[float]) -> tuple[float, float, float]:
+    if not latencies:
+        return (0.0, 0.0, 0.0)
+    p50, p95, p99 = np.percentile(np.asarray(latencies), [50, 95, 99])
+    return (float(p50), float(p95), float(p99))
+
+
+def simulate_open_loop(
+    graph: CSRGraph,
+    requests: list[QueryRequest],
+    arrivals: np.ndarray,
+    scheduler_factory: Callable[[], Scheduler],
+    *,
+    batch_window: float,
+    max_batch_size: int,
+    num_workers: int = 1,
+    num_gpus: int = 1,
+    executor: BatchExecutor | None = None,
+    sequential_seconds: float | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[list[QueryResponse], ServeBenchReport]:
+    """Deterministic virtual-time replay of the batched service.
+
+    Returns per-query responses (aligned with ``requests``) and the
+    bench report.  ``sequential_seconds`` may be supplied to avoid
+    re-running the oracle when the caller already measured it; pass
+    ``0.0`` to skip speedup accounting entirely.
+    """
+    if num_workers < 1:
+        raise InvalidParameterError("num_workers must be >= 1")
+    arrivals = np.asarray(arrivals, dtype=np.float64)
+    if arrivals.shape != (len(requests),):
+        raise InvalidParameterError(
+            f"need one arrival per request, got {arrivals.shape} "
+            f"for {len(requests)} requests"
+        )
+    executor = executor or BatchExecutor(scheduler_factory, num_gpus=num_gpus)
+    batcher = MicroBatcher(batch_window, max_batch_size)
+    batches = batcher.form_batches(list(zip(arrivals.tolist(), requests)))
+
+    responses: dict[int, QueryResponse] = {}
+    worker_free = np.zeros(num_workers, dtype=np.float64)
+    sim_total = 0.0
+    for batch in batches:
+        worker = int(np.argmin(worker_free))
+        start = max(batch.ready_time, float(worker_free[worker]))
+        live = []
+        for item in batch.items:
+            deadline = (
+                item.arrival + item.request.deadline_seconds
+                if item.request.deadline_seconds is not None else None
+            )
+            if deadline is not None and start > deadline:
+                responses[item.index] = QueryResponse(
+                    request_id=item.index,
+                    app=item.request.app,
+                    status=QueryStatus.TIMEOUT,
+                    error="deadline exceeded before execution",
+                    error_type=DeadlineExceededError.__name__,
+                    batch_id=batch.batch_id,
+                    latency_seconds=start - item.arrival,
+                )
+            else:
+                live.append((item, deadline))
+        if not live:
+            continue
+        execution = executor.execute(graph, [item.request for item, _ in live])
+        finish = start + execution.sim_seconds
+        worker_free[worker] = finish
+        sim_total += execution.sim_seconds
+        share = execution.sim_seconds / len(live)
+        for (item, deadline), result in zip(live, execution.results):
+            if deadline is not None and finish > deadline:
+                responses[item.index] = QueryResponse(
+                    request_id=item.index,
+                    app=item.request.app,
+                    status=QueryStatus.TIMEOUT,
+                    error="deadline exceeded after execution",
+                    error_type=DeadlineExceededError.__name__,
+                    batch_id=batch.batch_id,
+                    batch_size=len(live),
+                    latency_seconds=finish - item.arrival,
+                )
+            else:
+                responses[item.index] = QueryResponse(
+                    request_id=item.index,
+                    app=item.request.app,
+                    status=QueryStatus.OK,
+                    result=result,
+                    batch_id=batch.batch_id,
+                    batch_size=len(live),
+                    sim_seconds=share,
+                    latency_seconds=finish - item.arrival,
+                )
+
+    ordered = [responses[i] for i in range(len(requests))]
+    if sequential_seconds is None:
+        sequential_seconds = sequential_baseline(
+            graph, requests, scheduler_factory
+        )
+    makespan = max(
+        (r.latency_seconds + float(arrivals[i])
+         for i, r in enumerate(ordered)),
+        default=0.0,
+    )
+    counts: dict[str, int] = {}
+    for response in ordered:
+        counts[response.status.value] = counts.get(
+            response.status.value, 0
+        ) + 1
+    p50, p95, p99 = _percentiles([r.latency_seconds for r in ordered])
+    report = ServeBenchReport(
+        mode="open-loop",
+        num_queries=len(requests),
+        num_batches=len(batches),
+        batch_occupancy_mean=occupancy_mean(batches),
+        makespan_seconds=makespan,
+        sequential_seconds=float(sequential_seconds),
+        latency_p50=p50,
+        latency_p95=p95,
+        latency_p99=p99,
+        status_counts=counts,
+        sim_seconds_total=sim_total,
+    )
+    if metrics is not None:
+        publish_report_gauges(metrics, report)
+    return ordered, report
+
+
+def run_closed_loop(
+    graph_name: str,
+    graph: CSRGraph,
+    requests: list[QueryRequest],
+    scheduler_factory: Callable[[], Scheduler],
+    *,
+    concurrency: int = 4,
+    batch_window: float = 0.01,
+    max_batch_size: int = 64,
+    num_workers: int = 2,
+    queue_capacity: int = 256,
+    num_gpus: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> tuple[list[QueryResponse], ServeBenchReport]:
+    """Drive the threaded broker with ``concurrency`` client threads.
+
+    Each client submits the next unclaimed query, blocks on its result,
+    and repeats — the classic closed-loop load model.  Times are
+    wall-clock (non-deterministic); the deterministic benchmark tier
+    uses :func:`simulate_open_loop` instead.
+    """
+    if concurrency < 1:
+        raise InvalidParameterError("concurrency must be >= 1")
+    responses: list[QueryResponse | None] = [None] * len(requests)
+    cursor = {"next": 0}
+    cursor_lock = threading.Lock()
+    broker = QueryBroker(
+        {graph_name: graph},
+        scheduler_factory,
+        batch_window=batch_window,
+        max_batch_size=max_batch_size,
+        num_workers=num_workers,
+        queue_capacity=queue_capacity,
+        num_gpus=num_gpus,
+        metrics=metrics,
+    )
+
+    def client() -> None:
+        while True:
+            with cursor_lock:
+                index = cursor["next"]
+                if index >= len(requests):
+                    return
+                cursor["next"] = index + 1
+            pending = broker.submit(requests[index])
+            responses[index] = pending.result()
+
+    start = time.monotonic()
+    clients = [
+        threading.Thread(target=client, name=f"serve-client-{i}", daemon=True)
+        for i in range(concurrency)
+    ]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    broker.close(drain=True)
+    makespan = time.monotonic() - start
+
+    done = [r for r in responses if r is not None]
+    counts: dict[str, int] = {}
+    for response in done:
+        counts[response.status.value] = counts.get(
+            response.status.value, 0
+        ) + 1
+    p50, p95, p99 = _percentiles([r.latency_seconds for r in done])
+    # Closed-loop times are wall-clock while the sequential oracle is
+    # simulated time; a cross-domain speedup would be meaningless, so it
+    # is reported as 0 ("n/a") in this mode.
+    report = ServeBenchReport(
+        mode="closed-loop",
+        num_queries=len(requests),
+        num_batches=len(broker.stats.batch_sizes),
+        batch_occupancy_mean=(
+            float(np.mean(broker.stats.batch_sizes))
+            if broker.stats.batch_sizes else 0.0
+        ),
+        makespan_seconds=makespan,
+        sequential_seconds=0.0,
+        latency_p50=p50,
+        latency_p95=p95,
+        latency_p99=p99,
+        status_counts=counts,
+        sim_seconds_total=sum(
+            r.sim_seconds for r in done if r.status is QueryStatus.OK
+        ),
+    )
+    if metrics is not None:
+        publish_report_gauges(metrics, report)
+    return [r for r in responses if r is not None], report

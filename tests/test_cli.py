@@ -77,3 +77,36 @@ class TestExperiment:
     def test_unknown_rejected(self):
         with pytest.raises(SystemExit):
             main(["experiment", "table99"])
+
+
+class TestServeBench:
+    def test_open_loop_deterministic(self, capsys):
+        args = ["serve-bench", "--dataset", "twitter", "--scale", "0.05",
+                "--queries", "16", "--rate", "300", "--seed", "7",
+                "--batch-window", "0.05"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first  # virtual time: exact
+        assert "speedup vs 1-at-a-time" in first
+        assert "ok=16" in first
+
+    def test_open_loop_emits_serve_gauges(self, tmp_path, capsys):
+        import json
+
+        out = tmp_path / "serve.json"
+        assert main(["serve-bench", "--dataset", "twitter", "--scale",
+                     "0.05", "--queries", "12", "--rate", "500",
+                     "--mix", "bfs=1.0", "--emit-metrics", str(out)]) == 0
+        gauges = json.loads(out.read_text())["gauges"]
+        assert gauges["serve.batch_occupancy_mean"] >= 1.0
+        assert gauges["serve.speedup_vs_sequential"] > 0.0
+
+    def test_closed_loop_runs(self, capsys):
+        assert main(["serve-bench", "--mode", "closed", "--dataset",
+                     "twitter", "--scale", "0.05", "--queries", "8",
+                     "--concurrency", "2", "--workers", "1",
+                     "--batch-window", "0.005"]) == 0
+        out = capsys.readouterr().out
+        assert "closed-loop" in out
+        assert "ok=8" in out

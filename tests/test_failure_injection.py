@@ -136,3 +136,55 @@ class TestNumericalRobustness:
         result = run_app(g, BFSApp(), SageScheduler(), source=0)
         assert result.result["dist"].tolist() == [0]
         assert result.edges_traversed == 0
+
+
+class TestServiceErrors:
+    """The serving layer's failure taxonomy rides the library base
+    class, and its broker surfaces worker faults structurally (the full
+    fault-injection matrix lives in ``tests/serve/test_faults.py``)."""
+
+    def test_serve_errors_share_base(self):
+        from repro.errors import (
+            AdmissionError,
+            DeadlineExceededError,
+            ServiceError,
+            WorkerFailureError,
+        )
+        for exc in (AdmissionError, DeadlineExceededError,
+                    WorkerFailureError):
+            assert issubclass(exc, ServiceError)
+            assert issubclass(exc, ReproError)
+
+    def test_raise_for_status_maps_every_failure(self):
+        from repro.errors import (
+            AdmissionError,
+            DeadlineExceededError,
+            WorkerFailureError,
+        )
+        from repro.serve import (
+            QueryResponse,
+            QueryStatus,
+            raise_for_status,
+        )
+
+        def response(status):
+            return QueryResponse(request_id=0, app="bfs", status=status,
+                                 error="injected", error_type="Boom")
+
+        with pytest.raises(AdmissionError):
+            raise_for_status(response(QueryStatus.SHED))
+        with pytest.raises(DeadlineExceededError):
+            raise_for_status(response(QueryStatus.TIMEOUT))
+        with pytest.raises(WorkerFailureError, match="Boom"):
+            raise_for_status(response(QueryStatus.ERROR))
+
+    def test_closed_broker_rejects_submission(self, skewed_graph):
+        from repro.core import SageScheduler
+        from repro.errors import ServiceError
+        from repro.serve import QueryBroker, QueryRequest
+
+        broker = QueryBroker({"g": skewed_graph}, SageScheduler,
+                             batch_window=0.0, num_workers=1)
+        broker.close()
+        with pytest.raises(ServiceError):
+            broker.submit(QueryRequest(app="bfs", graph="g", source=0))

@@ -54,6 +54,36 @@ class TestEmitSitesResolve:
         }
         assert set(names.SANITIZER_COUNTERS) == expected
 
+    def test_serve_emits_exactly_the_registered_serve_names(self):
+        """The service's emit sites == the ``serve.*`` registry, per kind.
+
+        Only literal first arguments of metric-method calls are
+        collected (``count``/``set_counter``/``set_gauge``/``span``), so
+        docstrings mentioning metric names can't satisfy the test.
+        """
+        emitted: dict[str, set[str]] = {
+            "count": set(), "set_counter": set(),
+            "set_gauge": set(), "span": set(),
+        }
+        for path in sorted((SRC / "serve").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in emitted
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("serve.")
+                ):
+                    emitted[node.func.attr].add(node.args[0].value)
+        counters = emitted["count"] | emitted["set_counter"]
+        serve_spans = {s for s in names.SPANS if s.startswith("serve.")}
+        assert counters == set(names.SERVE_COUNTERS)
+        assert emitted["set_gauge"] == set(names.SERVE_GAUGES)
+        assert emitted["span"] == serve_spans
+
     def test_bench_carry_list_is_registered(self):
         """The trajectory benchmark only carries registered counters."""
         source = (ROOT / "benchmarks" / "bench_trajectory.py").read_text(
@@ -73,8 +103,12 @@ class TestRegistryStructure:
             | names.OOC_COUNTERS
             | names.MULTIGPU_COUNTERS
             | names.SANITIZER_COUNTERS
+            | names.SERVE_COUNTERS
         )
         assert names.COUNTERS == union
+
+    def test_gauges_is_the_union_of_subsystem_sets(self):
+        assert names.GAUGES == names.RUN_GAUGES | names.SERVE_GAUGES
 
     def test_kinds_do_not_overlap(self):
         assert not names.COUNTERS & names.GAUGES
