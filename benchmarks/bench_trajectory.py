@@ -36,7 +36,7 @@ from pathlib import Path
 import numpy as np
 
 from repro.apps import BFSApp, PageRankApp, SSSPApp
-from repro.core import SageScheduler, run_app
+from repro.core import SageScheduler, TraversalPipeline
 from repro.graph.generators import rmat
 from repro.obs import MetricsRegistry
 from repro.outofcore.runners import SageOutOfCoreRunner
@@ -61,6 +61,11 @@ SCALE_UP_RMAT_SCALE = 17
 #: virtual-time, so deterministic across machines).
 SERVE_SPEEDUP_FLOOR = 2.0
 
+#: The cluster tier (replica pool + versioned result cache) must beat a
+#: single broker at equal offered load by at least this much on the
+#: hot-key-skewed workload (acceptance floor, enforced every run).
+CLUSTER_SPEEDUP_FLOOR = 2.0
+
 
 def _graph(smoke: bool):
     scale = 10 if smoke else 13
@@ -76,10 +81,11 @@ def _workloads(smoke: bool, sanitizer=None):
     def single(graph, source, make_app, **app_kwargs):
         def run():
             metrics = MetricsRegistry()
-            result = run_app(
-                graph, make_app(**app_kwargs), SageScheduler(),
-                source=source, metrics=metrics, sanitizer=sanitizer,
+            pipeline = TraversalPipeline(
+                graph, SageScheduler(),
+                metrics=metrics, sanitizer=sanitizer,
             )
+            result = pipeline.run(make_app(**app_kwargs), source=source)
             return result, metrics
         return run
 
@@ -153,6 +159,66 @@ def _serve_row(smoke: bool) -> dict:
     }
 
 
+def _cluster_row(smoke: bool) -> dict:
+    """The cluster tier: replica pool + result cache, virtual time.
+
+    The workload is the one the cluster is for — a low-rate, hot-key
+    skewed, source-heavy mix where micro-batching alone cannot merge
+    work (distinct SSSP sources never share a batch slot) but the
+    versioned cache collapses the repeats.  Both sides see the *same*
+    seeded requests and arrival times, so ``speedup_vs_single_broker``
+    is the device-seconds ratio at equal offered load and is enforced
+    against :data:`CLUSTER_SPEEDUP_FLOOR` unconditionally.
+    """
+    from repro.serve import (
+        generate_queries,
+        open_loop_arrivals,
+        sequential_baseline,
+        simulate_cluster_open_loop,
+        simulate_open_loop,
+        skew_sources,
+    )
+
+    graph = _graph(smoke)
+    num_queries = 64 if smoke else 192
+    requests = generate_queries(
+        "bench", graph.num_nodes, num_queries, seed=11,
+        mix={"bfs": 0.5, "sssp": 0.4, "pr": 0.1},
+    )
+    requests = skew_sources(
+        requests, hot_set_size=4, hot_fraction=0.9,
+        num_nodes=graph.num_nodes, seed=11,
+    )
+    arrivals = open_loop_arrivals(num_queries, rate_qps=100.0, seed=11)
+    wall_start = time.perf_counter()
+    sequential = sequential_baseline(graph, requests, SageScheduler)
+    _, single = simulate_open_loop(
+        graph, requests, arrivals, SageScheduler,
+        batch_window=0.05, max_batch_size=64, num_workers=2,
+        sequential_seconds=sequential,
+    )
+    _, report = simulate_cluster_open_loop(
+        {"bench": graph}, requests, arrivals, SageScheduler,
+        num_replicas=2, routing="affinity",
+        batch_window=0.05, max_batch_size=64,
+        single_broker_seconds=single.sim_seconds_total,
+    )
+    wall = time.perf_counter() - wall_start
+    assert report.status_counts == {"ok": num_queries}
+    return {
+        "simulated_seconds": report.sim_seconds_total,
+        "cluster_single_broker_seconds": report.single_broker_seconds,
+        "cluster_speedup_vs_single_broker":
+            report.speedup_vs_single_broker,
+        "cluster_cache_hit_ratio": report.cache_hit_ratio,
+        "cluster_cache_hits": float(report.cache_hits),
+        "cluster_num_batches": float(report.num_batches),
+        "cluster_throughput_qps": report.throughput_qps,
+        "cluster_latency_p95": report.latency_p95,
+        "wall_seconds": wall,  # informational, never gated
+    }
+
+
 def run_suite(smoke: bool, sanitizer=None) -> dict:
     """Execute the suite; returns the BENCH_repro.json payload.
 
@@ -197,6 +263,13 @@ def run_suite(smoke: bool, sanitizer=None) -> dict:
           f"occ={serve['serve_batch_occupancy_mean']:5.2f} "
           f"sim={serve['simulated_seconds'] * 1e3:9.4f} ms "
           f"wall={serve['wall_seconds']:6.2f} s")
+    cluster = _cluster_row(smoke)
+    rows["cluster_openloop"] = cluster
+    print(f"  {'cluster_openloop':24s} "
+          f"speedup={cluster['cluster_speedup_vs_single_broker']:7.2f}x "
+          f"hit={cluster['cluster_cache_hit_ratio']:5.2f} "
+          f"sim={cluster['simulated_seconds'] * 1e3:9.4f} ms "
+          f"wall={cluster['wall_seconds']:6.2f} s")
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "smoke" if smoke else "full",
@@ -288,6 +361,17 @@ def main(argv: list[str] | None = None) -> int:
             f"serving tier below the speedup floor: "
             f"{serve['serve_speedup_vs_sequential']:.2f}x < "
             f"{SERVE_SPEEDUP_FLOOR:.1f}x vs one-query-at-a-time",
+            file=sys.stderr,
+        )
+        return 1
+
+    cluster = current["workloads"]["cluster_openloop"]
+    if cluster["cluster_speedup_vs_single_broker"] < CLUSTER_SPEEDUP_FLOOR:
+        print(
+            f"cluster tier below the speedup floor: "
+            f"{cluster['cluster_speedup_vs_single_broker']:.2f}x < "
+            f"{CLUSTER_SPEEDUP_FLOOR:.1f}x vs a single broker at equal "
+            f"offered load",
             file=sys.stderr,
         )
         return 1

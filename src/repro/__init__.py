@@ -5,17 +5,16 @@ rebuilt on a functional + analytic GPU simulator so the paper's entire
 evaluation — single-GPU, out-of-core and multi-GPU — runs offline in pure
 Python.  See DESIGN.md for the system inventory and the substitutions.
 
-Quick start::
+Quick start (see :mod:`repro.api` for the full facade)::
 
-    from repro.graph import datasets
-    from repro.apps import BFSApp
-    from repro.core import SageScheduler, run_app
+    import repro
 
-    graph = datasets.twitter_like().graph
-    result = run_app(graph, BFSApp(), SageScheduler(), source=0)
-    print(result.gteps, result.result["dist"])
+    graph = repro.api.load_graph("twitter", scale=0.3)
+    result = repro.api.run(graph, "bfs")
+    print(result.gteps, result.values["dist"])
 """
 
+from repro import api
 from repro.core import RunResult, SageScheduler, TraversalPipeline, run_app
 from repro.errors import (
     ConvergenceError,
@@ -32,6 +31,7 @@ __version__ = "0.1.0"
 
 __all__ = [
     "COOGraph",
+    "api",
     "CSRGraph",
     "ConvergenceError",
     "GraphFormatError",

@@ -18,6 +18,10 @@ violations of repo-specific rules ordinary linters cannot express:
 * **SAGE004** — bare ``except:`` anywhere, and exception handlers that
   swallow diagnostics (``pass``-only bodies catching ``Exception``) in
   the simulator layers (:data:`SIMULATOR_LAYERS`).
+* **SAGE005** — use of a deprecated entry point:
+  ``run_app(..., sanitizer=...)`` (use ``repro.api.run(..., checks=...)``)
+  or direct ``QueryBroker(...)`` construction (use ``repro.api.serve``).
+  The sanctioned internal construction sites carry an inline allow.
 
 A committed baseline (``lint_baseline.json``) ratchets existing
 violations: counts may only go down.  ``--update-baseline`` rewrites it
@@ -46,6 +50,7 @@ RULES: dict[str, str] = {
     "SAGE002": "metric/span name literal not in the repro.obs.names registry",
     "SAGE003": "unseeded numpy randomness in library code",
     "SAGE004": "bare except / swallowed diagnostics in simulator layers",
+    "SAGE005": "deprecated entry point (run_app sanitizer= / QueryBroker())",
 }
 
 #: Path suffixes of the vectorized hot paths SAGE001 protects.
@@ -266,6 +271,7 @@ class _FileLinter(ast.NodeVisitor):
     def visit_Call(self, node: ast.Call) -> None:
         self._check_sage002(node)
         self._check_sage003(node)
+        self._check_sage005(node)
         if (
             self.hot_path
             and not self._exempt
@@ -340,6 +346,32 @@ class _FileLinter(ast.NodeVisitor):
                 node,
                 "default_rng() without a seed is nondeterministic; pass "
                 "an explicit seed in library code",
+            )
+
+    # -- SAGE005: deprecated entry points ------------------------------
+
+    def _check_sage005(self, node: ast.Call) -> None:
+        func = node.func
+        name = (
+            func.attr
+            if isinstance(func, ast.Attribute)
+            else func.id if isinstance(func, ast.Name) else None
+        )
+        if name == "run_app":
+            if any(kw.arg == "sanitizer" for kw in node.keywords):
+                self._flag(
+                    "SAGE005",
+                    node,
+                    "run_app(..., sanitizer=...) is deprecated; use "
+                    "repro.api.run(..., checks=...)",
+                )
+        elif name == "QueryBroker":
+            self._flag(
+                "SAGE005",
+                node,
+                "direct QueryBroker construction is deprecated; use "
+                "repro.api.serve(...) (internal sites carry an inline "
+                "allow)",
             )
 
     # -- SAGE004: swallowed diagnostics --------------------------------

@@ -1,0 +1,385 @@
+"""The unified entry point: load a graph, run, serve, cluster, bench.
+
+Everything the CLI and the benchmarks do goes through these five
+functions; library users should start here instead of wiring
+:class:`~repro.core.pipeline.TraversalPipeline`,
+:class:`~repro.serve.broker.QueryBroker` or the cluster tier by hand.
+
+::
+
+    import repro
+
+    graph = repro.api.load_graph("twitter", scale=0.3)
+    result = repro.api.run(graph, "bfs", checks=True)
+    print(result.gteps, result.values["dist"])
+
+    with repro.api.cluster({"g": graph}, num_replicas=2) as pool:
+        response = pool.submit(request).result()
+
+``run`` replaces the deprecated ``run_app(..., sanitizer=...)``
+spelling (``checks=True`` wires the kernel hazard sanitizer and returns
+it on the result), and ``serve``/``cluster`` replace direct
+:class:`QueryBroker` construction.  The maps :data:`APPS` and
+:data:`SCHEDULERS` are the canonical name → factory registries; the CLI
+imports them from here.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable, Mapping
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any
+
+import numpy as np
+
+from repro.apps import (
+    BCApp,
+    BFSApp,
+    ConnectedComponentsApp,
+    LabelPropagationApp,
+    PageRankApp,
+    SSSPApp,
+)
+from repro.apps.base import App
+from repro.baselines import (
+    B40CScheduler,
+    GunrockScheduler,
+    ThreadPerNodeScheduler,
+    TigrScheduler,
+)
+from repro.core import SageScheduler, TraversalPipeline
+from repro.core.scheduler import Scheduler
+from repro.errors import InvalidParameterError
+from repro.graph import datasets, io
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.gpusim.profiler import Profiler
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.serve.admission import AdmissionConfig
+from repro.serve.broker import QueryBroker
+from repro.serve.cache import GraphStore
+from repro.serve.cluster import (
+    ClusterBenchReport,
+    ClusterPool,
+    simulate_cluster_open_loop,
+)
+from repro.serve.loadgen import (
+    ServeBenchReport,
+    generate_queries,
+    open_loop_arrivals,
+    sequential_baseline,
+    simulate_open_loop,
+)
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.analysis.sanitizer import Sanitizer
+
+#: Application kinds runnable through :func:`run` (name → factory).
+APPS: dict[str, Callable[[], App]] = {
+    "bfs": BFSApp,
+    "bc": BCApp,
+    "pr": lambda: PageRankApp(max_iterations=20),
+    "cc": ConnectedComponentsApp,
+    "sssp": SSSPApp,
+    "lp": LabelPropagationApp,
+}
+
+#: App kinds that require a traversal source.
+SOURCE_APPS = frozenset({"bfs", "bc", "sssp"})
+
+#: Scheduler names accepted everywhere a scheduler is chosen by name.
+SCHEDULERS: dict[str, Callable[[], Scheduler]] = {
+    "sage": SageScheduler,
+    "sage-sr": lambda: SageScheduler(sampling_reorder=True),
+    "tpn": ThreadPerNodeScheduler,
+    "b40c": B40CScheduler,
+    "tigr": TigrScheduler,
+    "gunrock": GunrockScheduler,
+}
+
+
+@dataclass(frozen=True)
+class RunResult:
+    """Outcome of one :func:`run` call.
+
+    ``values`` holds the application's output arrays (original node
+    ids); ``checks`` is the kernel hazard sanitizer when the run was
+    audited (``checks=True``), else ``None``; ``raw`` is the underlying
+    :class:`repro.core.pipeline.RunResult` for callers that need the
+    pipeline-level view.
+    """
+
+    app: str
+    scheduler: str
+    seconds: float
+    iterations: int
+    edges_traversed: int
+    gteps: float
+    values: dict[str, np.ndarray]
+    profiler: Profiler
+    reorder_commits: int = 0
+    checks: "Sanitizer | None" = None
+    metrics: MetricsRegistry | None = None
+    raw: Any = field(default=None, repr=False)
+
+    @property
+    def clean(self) -> bool:
+        """Whether the audited run produced no sanitizer findings
+        (vacuously true when ``checks`` was off)."""
+        return self.checks is None or self.checks.clean
+
+
+def _make_app(app: str | App) -> tuple[str, App]:
+    if isinstance(app, App):
+        return app.name, app
+    if app not in APPS:
+        raise InvalidParameterError(
+            f"unknown app {app!r}; expected one of {sorted(APPS)}"
+        )
+    return app, APPS[app]()
+
+
+def _make_scheduler(
+    scheduler: str | Scheduler | Callable[[], Scheduler],
+) -> Scheduler:
+    if isinstance(scheduler, Scheduler):
+        return scheduler
+    if callable(scheduler):
+        return scheduler()
+    if scheduler not in SCHEDULERS:
+        raise InvalidParameterError(
+            f"unknown scheduler {scheduler!r}; "
+            f"expected one of {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[scheduler]()
+
+
+def _scheduler_factory(
+    scheduler: str | Callable[[], Scheduler],
+) -> Callable[[], Scheduler]:
+    if callable(scheduler):
+        return scheduler
+    if scheduler not in SCHEDULERS:
+        raise InvalidParameterError(
+            f"unknown scheduler {scheduler!r}; "
+            f"expected one of {sorted(SCHEDULERS)}"
+        )
+    return SCHEDULERS[scheduler]
+
+
+def load_graph(
+    name: str | None = None,
+    *,
+    scale: float = 0.5,
+    path: str | None = None,
+) -> CSRGraph:
+    """Load a built-in synthetic dataset or a SNAP edge-list file."""
+    if path is not None:
+        return io.read_edge_list(path)
+    if name is None:
+        raise InvalidParameterError("pass a dataset name or path=...")
+    return datasets.by_name(name, scale).graph
+
+
+def run(
+    graph: CSRGraph,
+    app: str | App = "bfs",
+    *,
+    source: int | None = None,
+    scheduler: str | Scheduler | Callable[[], Scheduler] = "sage",
+    checks: bool = False,
+    metrics: MetricsRegistry | None = None,
+    max_iterations: int = 100_000,
+) -> RunResult:
+    """Run one application to convergence on the simulated device.
+
+    ``checks=True`` audits every kernel with the hazard sanitizer
+    (:mod:`repro.analysis`) and returns it as ``result.checks`` — this
+    replaces the deprecated ``run_app(..., sanitizer=...)`` spelling.
+    ``source`` defaults to the highest-out-degree node for apps that
+    need one.
+    """
+    app_name, app_obj = _make_app(app)
+    if source is None and app_name in SOURCE_APPS:
+        source = int(np.argmax(graph.out_degrees()))
+    sanitizer: "Sanitizer | None" = None
+    if checks:
+        from repro.analysis import Sanitizer
+
+        sanitizer = Sanitizer()
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    registry.count("api.runs")
+    pipeline = TraversalPipeline(
+        graph,
+        _make_scheduler(scheduler),
+        max_iterations=max_iterations,
+        metrics=metrics,
+        sanitizer=sanitizer,
+    )
+    raw = pipeline.run(app_obj, source)
+    return RunResult(
+        app=raw.app_name,
+        scheduler=raw.scheduler_name,
+        seconds=raw.seconds,
+        iterations=raw.iterations,
+        edges_traversed=raw.edges_traversed,
+        gteps=raw.gteps,
+        values=raw.result,
+        profiler=raw.profiler,
+        reorder_commits=raw.reorder_commits,
+        checks=sanitizer,
+        metrics=metrics,
+        raw=raw,
+    )
+
+
+def serve(
+    graphs: Mapping[str, CSRGraph] | CSRGraph,
+    *,
+    scheduler: str | Callable[[], Scheduler] = "sage",
+    batch_window: float = 0.01,
+    max_batch_size: int = 64,
+    num_workers: int = 2,
+    queue_capacity: int = 256,
+    num_gpus: int = 1,
+    max_retries: int = 1,
+    metrics: MetricsRegistry | None = None,
+) -> QueryBroker:
+    """Start a single micro-batching query broker (a context manager).
+
+    This is the supported way to construct a broker — direct
+    :class:`QueryBroker` construction is deprecated.  A bare
+    :class:`CSRGraph` is registered under the handle ``"default"``.
+    """
+    if isinstance(graphs, CSRGraph):
+        graphs = {"default": graphs}
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    registry.count("api.serve_sessions")
+    return QueryBroker(  # sage: allow(SAGE005) - the sanctioned constructor
+        graphs,
+        _scheduler_factory(scheduler),
+        batch_window=batch_window,
+        max_batch_size=max_batch_size,
+        num_workers=num_workers,
+        queue_capacity=queue_capacity,
+        num_gpus=num_gpus,
+        max_retries=max_retries,
+        metrics=metrics,
+        _internal=True,
+    )
+
+
+def cluster(
+    graphs: Mapping[str, CSRGraph | DynamicGraph] | CSRGraph | GraphStore,
+    *,
+    scheduler: str | Callable[[], Scheduler] = "sage",
+    num_replicas: int = 2,
+    routing: str = "least_outstanding",
+    batch_window: float = 0.01,
+    max_batch_size: int = 64,
+    num_workers: int = 2,
+    queue_capacity: int = 256,
+    num_gpus: int = 1,
+    max_retries: int = 1,
+    cache_capacity: int = 1024,
+    admission: AdmissionConfig | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> ClusterPool:
+    """Start a sharded replica pool (a context manager).
+
+    Adds routing (:data:`~repro.serve.cluster.ROUTING_POLICIES`),
+    adaptive admission control and the epoch-versioned result cache on
+    top of :func:`serve`-style replicas.  Register a
+    :class:`~repro.graph.dynamic.DynamicGraph` to stream edge updates;
+    merges propagate to every replica and invalidate the cache.
+    """
+    if isinstance(graphs, CSRGraph):
+        graphs = {"default": graphs}
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    registry.count("api.cluster_sessions")
+    return ClusterPool(
+        graphs,
+        _scheduler_factory(scheduler),
+        num_replicas=num_replicas,
+        routing=routing,
+        batch_window=batch_window,
+        max_batch_size=max_batch_size,
+        num_workers=num_workers,
+        queue_capacity=queue_capacity,
+        num_gpus=num_gpus,
+        max_retries=max_retries,
+        cache_capacity=cache_capacity,
+        admission=admission,
+        metrics=metrics,
+    )
+
+
+def bench(
+    graph: CSRGraph,
+    *,
+    num_queries: int = 64,
+    rate_qps: float = 200.0,
+    mix: Mapping[str, float] | None = None,
+    batch_window: float = 0.05,
+    max_batch_size: int = 64,
+    num_workers: int = 2,
+    scheduler: str | Callable[[], Scheduler] = "sage",
+    replicas: int = 0,
+    routing: str = "affinity",
+    cache_capacity: int = 1024,
+    admission: AdmissionConfig | None = None,
+    seed: int = 0,
+    metrics: MetricsRegistry | None = None,
+) -> ServeBenchReport | ClusterBenchReport:
+    """Deterministic open-loop serving benchmark over one graph.
+
+    ``replicas=0`` (default) benchmarks the single micro-batching
+    broker and returns a :class:`ServeBenchReport`; ``replicas >= 1``
+    benchmarks the cluster tier on the same seeded trace (baselined
+    against the single broker) and returns a
+    :class:`ClusterBenchReport`.  Everything runs in virtual time, so
+    equal arguments always produce equal reports.
+    """
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    registry.count("api.bench_runs")
+    factory = _scheduler_factory(scheduler)
+    requests = generate_queries(
+        "bench", graph.num_nodes, num_queries, mix=mix, seed=seed
+    )
+    arrivals = open_loop_arrivals(num_queries, rate_qps, seed=seed)
+    sequential = sequential_baseline(graph, requests, factory)
+    _, serve_report = simulate_open_loop(
+        graph, requests, arrivals, factory,
+        batch_window=batch_window,
+        max_batch_size=max_batch_size,
+        num_workers=num_workers,
+        sequential_seconds=sequential,
+        metrics=metrics if replicas < 1 else None,
+    )
+    if replicas < 1:
+        return serve_report
+    _, cluster_report = simulate_cluster_open_loop(
+        {"bench": graph}, requests, arrivals, factory,
+        num_replicas=replicas,
+        routing=routing,
+        batch_window=batch_window,
+        max_batch_size=max_batch_size,
+        cache_capacity=cache_capacity,
+        admission=admission,
+        single_broker_seconds=serve_report.sim_seconds_total,
+        metrics=metrics,
+    )
+    return cluster_report
+
+
+__all__ = [
+    "APPS",
+    "RunResult",
+    "SCHEDULERS",
+    "SOURCE_APPS",
+    "bench",
+    "cluster",
+    "load_graph",
+    "run",
+    "serve",
+]

@@ -12,6 +12,13 @@ Subcommands:
 * ``experiment``— regenerate one paper table/figure from the harness
 * ``serve-bench``— load-test the batched query service (closed- or
   open-loop, fixed seeds; open-loop runs in deterministic virtual time)
+* ``cluster-bench``— benchmark the sharded replica pool (routing +
+  admission + result cache) against the single broker on one trace
+
+``run``, ``serve-bench`` and ``cluster-bench`` share one flag family
+(``--emit-metrics``, ``--sanitize``, ``--sanitize-report``, ``--seed``)
+via a common parent parser, so observability and determinism knobs are
+spelled identically everywhere.
 """
 
 from __future__ import annotations
@@ -22,22 +29,10 @@ import sys
 
 import numpy as np
 
-from repro.apps import (
-    BCApp,
-    BFSApp,
-    ConnectedComponentsApp,
-    LabelPropagationApp,
-    PageRankApp,
-    SSSPApp,
-)
+from repro import api
+from repro.api import APPS, SCHEDULERS
 from repro.apps.scc import strongly_connected_components
-from repro.baselines import (
-    B40CScheduler,
-    GunrockScheduler,
-    LigraRunner,
-    ThreadPerNodeScheduler,
-    TigrScheduler,
-)
+from repro.baselines import LigraRunner
 from repro.bench import (
     fig6_rows,
     fig7_rows,
@@ -50,7 +45,6 @@ from repro.bench import (
     table2_rows,
     table3_rows,
 )
-from repro.core import SageScheduler, run_app
 from repro.graph import datasets, degree_stats, id_locality, io, sector_span
 from repro.obs import (
     MetricsRegistry,
@@ -70,24 +64,6 @@ from repro.reorder import (
 )
 
 DATASETS = ("uk-2002", "brain", "ljournal", "twitter", "friendster")
-
-APPS = {
-    "bfs": BFSApp,
-    "bc": BCApp,
-    "pr": lambda: PageRankApp(max_iterations=20),
-    "cc": ConnectedComponentsApp,
-    "sssp": SSSPApp,
-    "lp": LabelPropagationApp,
-}
-
-SCHEDULERS = {
-    "sage": SageScheduler,
-    "sage-sr": lambda: SageScheduler(sampling_reorder=True),
-    "tpn": ThreadPerNodeScheduler,
-    "b40c": B40CScheduler,
-    "tigr": TigrScheduler,
-    "gunrock": GunrockScheduler,
-}
 
 EXPERIMENTS = {
     "table1": lambda scale: table1_rows(scale),
@@ -124,6 +100,28 @@ def _add_graph_args(parser: argparse.ArgumentParser) -> None:
                         help="read a SNAP edge list instead")
 
 
+def _common_flags() -> argparse.ArgumentParser:
+    """Parent parser shared by run / serve-bench / cluster-bench.
+
+    One spelling for the observability and determinism knobs everywhere:
+    ``--emit-metrics PATH``, ``--sanitize``, ``--sanitize-report PATH``
+    (implies ``--sanitize``) and ``--seed N``.
+    """
+    parent = argparse.ArgumentParser(add_help=False)
+    parent.add_argument("--emit-metrics", metavar="PATH", default=None,
+                        help="write the hierarchical span/metrics JSON here")
+    parent.add_argument("--sanitize", action="store_true",
+                        help="audit the run(s) with the kernel hazard "
+                             "sanitizer (exit code 3 on findings)")
+    parent.add_argument("--sanitize-report", metavar="PATH", default=None,
+                        help="write the sanitizer findings JSON here "
+                             "(implies --sanitize)")
+    parent.add_argument("--seed", type=int, default=None,
+                        help="seed for randomized choices (sources, "
+                             "query mixes, arrival schedules)")
+    return parent
+
+
 def cmd_info(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
     stats = degree_stats(graph)
@@ -147,42 +145,58 @@ def cmd_generate(args: argparse.Namespace) -> int:
 
 def cmd_run(args: argparse.Namespace) -> int:
     graph = _load_graph(args)
-    make_app = APPS[args.app]
+    app = APPS[args.app]()
     source = args.source
-    if source is None and args.app in ("bfs", "bc", "sssp"):
-        source = int(np.argmax(graph.out_degrees()))
-    app = make_app()
+    if source is None and args.app in api.SOURCE_APPS:
+        if args.seed is not None:
+            # Seeded random source: reproducible sweeps without pinning
+            # everyone to the same argmax-degree hub.
+            rng = np.random.default_rng(args.seed)
+            source = int(rng.integers(0, graph.num_nodes))
+        else:
+            source = int(np.argmax(graph.out_degrees()))
     sanitize = args.sanitize or args.sanitize_report is not None
-    sanitizer = None
-    if sanitize:
-        if args.scheduler == "ligra":
-            print("error: --sanitize does not support the ligra runner "
-                  "(it bypasses the traversal pipeline)", file=sys.stderr)
-            return 2
-        from repro.analysis import Sanitizer
-        sanitizer = Sanitizer()
+    if sanitize and args.scheduler == "ligra":
+        print("error: --sanitize does not support the ligra runner "
+              "(it bypasses the traversal pipeline)", file=sys.stderr)
+        return 2
     metrics = MetricsRegistry() if args.emit_metrics else None
+    sanitizer = None
     if args.scheduler == "ligra":
         result = LigraRunner().run(graph, app, source)
+        scheduler_name = result.scheduler_name
+        values = result.result
+        seconds, gteps = result.seconds, result.gteps
+        iterations = result.iterations
+        edges_traversed = result.edges_traversed
+        reorder_commits = result.reorder_commits
+        profiler = result.profiler
     else:
-        result = run_app(graph, app, SCHEDULERS[args.scheduler](),
-                         source=source, metrics=metrics,
-                         sanitizer=sanitizer)
-    print(f"{args.app} on {graph} with {result.scheduler_name}"
+        run = api.run(graph, app, source=source, scheduler=args.scheduler,
+                      checks=sanitize, metrics=metrics)
+        scheduler_name = run.scheduler
+        values = run.values
+        seconds, gteps = run.seconds, run.gteps
+        iterations = run.iterations
+        edges_traversed = run.edges_traversed
+        reorder_commits = run.reorder_commits
+        profiler = run.profiler
+        sanitizer = run.checks
+    print(f"{args.app} on {graph} with {scheduler_name}"
           + (f" from source {source}" if source is not None else ""))
-    print(f"  simulated time   {result.seconds * 1e3:10.4f} ms")
-    print(f"  iterations       {result.iterations:10d}")
-    print(f"  edges traversed  {result.edges_traversed:10d}")
-    print(f"  traversal speed  {result.gteps:10.3f} GTEPS")
-    if result.reorder_commits:
-        print(f"  reorder commits  {result.reorder_commits:10d}")
+    print(f"  simulated time   {seconds * 1e3:10.4f} ms")
+    print(f"  iterations       {iterations:10d}")
+    print(f"  edges traversed  {edges_traversed:10d}")
+    print(f"  traversal speed  {gteps:10.3f} GTEPS")
+    if reorder_commits:
+        print(f"  reorder commits  {reorder_commits:10d}")
     if args.profile:
         print("profile:")
-        for line in result.profiler.format_summary().splitlines():
+        for line in profiler.format_summary().splitlines():
             print(f"  {line}")
     if args.validate:
         from repro.validate import validate_run
-        validate_run(graph, args.app, result.result, source,
+        validate_run(graph, args.app, values, source,
                      weights=getattr(app, "weights", None))
         print("  validation: results match the reference implementation")
     if args.emit_metrics:
@@ -190,9 +204,9 @@ def cmd_run(args: argparse.Namespace) -> int:
         # The registry mirrors the run's profiler exactly (the ligra
         # path has no pipeline instrumentation, so fold it here; the
         # snapshot semantics make this a no-op for instrumented paths).
-        metrics.fold_profiler(result.profiler)
-        metrics.set_gauge("run.simulated_seconds", result.seconds)
-        metrics.set_gauge("run.gteps", result.gteps)
+        metrics.fold_profiler(profiler)
+        metrics.set_gauge("run.simulated_seconds", seconds)
+        metrics.set_gauge("run.gteps", gteps)
         out = write_json(metrics, args.emit_metrics)
         print(f"  metrics exported to {out}")
     if sanitizer is not None:
@@ -275,6 +289,33 @@ def _parse_mix(spec: str) -> dict[str, float]:
     return mix
 
 
+def _audited_baseline(
+    graph, requests, scheduler: str, report_path: str | None
+) -> tuple[float, bool]:
+    """Sequential oracle with the hazard sanitizer auditing every run.
+
+    Returns (total simulated seconds, all-clean).  This is the bench's
+    ``--sanitize`` mode: the baseline the speedups are measured against
+    is itself certified hazard-free.
+    """
+    from repro.serve import make_single_app
+
+    seconds = 0.0
+    clean = True
+    last_checks = None
+    for request in requests:
+        run = api.run(
+            graph, make_single_app(request.app, request.param_dict()),
+            source=request.source, scheduler=scheduler, checks=True,
+        )
+        seconds += run.seconds
+        clean = clean and run.clean
+        last_checks = run.checks
+    if report_path is not None and last_checks is not None:
+        last_checks.write_json(report_path)
+    return seconds, clean
+
+
 def cmd_serve_bench(args: argparse.Namespace) -> int:
     from repro.serve import (
         generate_queries,
@@ -286,18 +327,28 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
     )
 
     graph = _load_graph(args)
+    seed = args.seed if args.seed is not None else 0
     mix = _parse_mix(args.mix) if args.mix else None
     requests = generate_queries(
         "bench", graph.num_nodes, args.queries,
-        mix=mix, deadline_seconds=args.deadline, seed=args.seed,
+        mix=mix, deadline_seconds=args.deadline, seed=seed,
     )
     metrics = MetricsRegistry() if args.emit_metrics else None
     scheduler_factory = SCHEDULERS[args.scheduler]
+    sanitize = args.sanitize or args.sanitize_report is not None
+    oracle_clean = True
     if args.mode == "open":
         arrivals = open_loop_arrivals(
-            args.queries, rate_qps=args.rate, seed=args.seed
+            args.queries, rate_qps=args.rate, seed=seed
         )
-        sequential = sequential_baseline(graph, requests, scheduler_factory)
+        if sanitize:
+            sequential, oracle_clean = _audited_baseline(
+                graph, requests, args.scheduler, args.sanitize_report
+            )
+        else:
+            sequential = sequential_baseline(
+                graph, requests, scheduler_factory
+            )
         _, report = simulate_open_loop(
             graph, requests, arrivals, scheduler_factory,
             batch_window=args.batch_window,
@@ -338,6 +389,106 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
         publish_report_gauges(metrics, report)
         out = write_json(metrics, args.emit_metrics)
         print(f"  metrics exported to {out}")
+    if sanitize:
+        print(f"  sanitizer (oracle runs): "
+              f"{'clean' if oracle_clean else 'FINDINGS'}")
+        if not oracle_clean:
+            return 3
+    return 0
+
+
+def cmd_cluster_bench(args: argparse.Namespace) -> int:
+    from repro.serve import (
+        AdmissionConfig,
+        generate_queries,
+        open_loop_arrivals,
+        sequential_baseline,
+        simulate_cluster_open_loop,
+        simulate_open_loop,
+        skew_sources,
+    )
+
+    graph = _load_graph(args)
+    seed = args.seed if args.seed is not None else 0
+    mix = _parse_mix(args.mix) if args.mix else None
+    requests = generate_queries(
+        "bench", graph.num_nodes, args.queries,
+        mix=mix, deadline_seconds=args.deadline, seed=seed,
+    )
+    if args.hot_fraction > 0:
+        requests = skew_sources(
+            requests,
+            hot_set_size=args.hot_set,
+            hot_fraction=args.hot_fraction,
+            num_nodes=graph.num_nodes,
+            seed=seed,
+        )
+    arrivals = open_loop_arrivals(args.queries, rate_qps=args.rate, seed=seed)
+    metrics = MetricsRegistry() if args.emit_metrics else None
+    scheduler_factory = SCHEDULERS[args.scheduler]
+    sanitize = args.sanitize or args.sanitize_report is not None
+    oracle_clean = True
+    if sanitize:
+        _, oracle_clean = _audited_baseline(
+            graph, requests, args.scheduler, args.sanitize_report
+        )
+    # The comparison point: the identical trace through one broker.
+    _, single = simulate_open_loop(
+        graph, requests, arrivals, scheduler_factory,
+        batch_window=args.batch_window,
+        max_batch_size=args.max_batch_size,
+        sequential_seconds=sequential_baseline(
+            graph, requests, scheduler_factory
+        ),
+    )
+    admission = AdmissionConfig(
+        rate_qps=args.rate_limit,
+        burst=args.burst,
+        max_concurrency=args.max_concurrency,
+    )
+    _, report = simulate_cluster_open_loop(
+        {"bench": graph}, requests, arrivals, scheduler_factory,
+        num_replicas=args.replicas,
+        routing=args.routing,
+        batch_window=args.batch_window,
+        max_batch_size=args.max_batch_size,
+        cache_capacity=args.cache_capacity,
+        admission=admission,
+        single_broker_seconds=single.sim_seconds_total,
+        metrics=metrics,
+    )
+    print(f"cluster-bench on {graph} "
+          f"({report.num_replicas} replicas, {report.routing} routing)")
+    statuses = ", ".join(
+        f"{k}={v}" for k, v in sorted(report.status_counts.items())
+    )
+    print(f"  queries           {report.num_queries:10d}   ({statuses})")
+    print(f"  batches           {report.num_batches:10d}"
+          f"   occupancy {report.batch_occupancy_mean:.2f}")
+    print(f"  cache             {report.cache_hits:10d} hits"
+          f" / {report.cache_misses} misses"
+          f"   (ratio {report.cache_hit_ratio:.2f})")
+    print(f"  admission         {report.throttled:10d} throttled"
+          f" / {report.shed} shed"
+          f"   (throttle level {report.throttle_level:.2f})")
+    print(f"  makespan          {report.makespan_seconds:10.4f} virtual s")
+    print(f"  throughput        {report.throughput_qps:10.2f} qps")
+    print(f"  latency p50/95/99 {report.latency_p50:10.4f}"
+          f" / {report.latency_p95:.4f} / {report.latency_p99:.4f} virtual s")
+    print(f"  device time       {report.sim_seconds_total:10.6f} s"
+          f"   (single broker {report.single_broker_seconds:.6f} s)")
+    print(f"  replica occupancy {report.replica_occupancy_mean:10.2f}")
+    if report.single_broker_seconds > 0:
+        print(f"  speedup vs single broker {report.speedup_vs_single_broker:5.2f}x")
+    if args.emit_metrics:
+        assert metrics is not None
+        out = write_json(metrics, args.emit_metrics)
+        print(f"  metrics exported to {out}")
+    if sanitize:
+        print(f"  sanitizer (oracle runs): "
+              f"{'clean' if oracle_clean else 'FINDINGS'}")
+        if not oracle_clean:
+            return 3
     return 0
 
 
@@ -347,6 +498,7 @@ def build_parser() -> argparse.ArgumentParser:
         description="SAGE reproduction toolkit (SIGMOD 2021)",
     )
     sub = parser.add_subparsers(dest="command", required=True)
+    common = _common_flags()
 
     p = sub.add_parser("info", help="graph statistics")
     _add_graph_args(p)
@@ -358,24 +510,18 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--out", required=True)
     p.set_defaults(fn=cmd_generate)
 
-    p = sub.add_parser("run", help="run an application")
+    p = sub.add_parser("run", help="run an application", parents=[common])
     _add_graph_args(p)
     p.add_argument("--app", choices=sorted(APPS), default="bfs")
     p.add_argument("--scheduler",
                    choices=sorted(SCHEDULERS) + ["ligra"], default="sage")
-    p.add_argument("--source", type=int, default=None)
+    p.add_argument("--source", type=int, default=None,
+                   help="traversal source (default: highest-degree node, "
+                        "or a seeded random node with --seed)")
     p.add_argument("--profile", action="store_true",
                    help="print simulator counters after the run")
     p.add_argument("--validate", action="store_true",
                    help="check results against the reference oracle")
-    p.add_argument("--emit-metrics", metavar="PATH", default=None,
-                   help="write the hierarchical span/metrics JSON here")
-    p.add_argument("--sanitize", action="store_true",
-                   help="audit the run with the kernel hazard sanitizer "
-                        "(exit code 3 if it finds hazards)")
-    p.add_argument("--sanitize-report", metavar="PATH", default=None,
-                   help="write the sanitizer findings JSON here "
-                        "(implies --sanitize)")
     p.set_defaults(fn=cmd_run)
 
     p = sub.add_parser(
@@ -406,6 +552,7 @@ def build_parser() -> argparse.ArgumentParser:
     p = sub.add_parser(
         "serve-bench",
         help="load-test the batched query service (seeded)",
+        parents=[common],
     )
     _add_graph_args(p)
     p.add_argument("--mode", choices=("open", "closed"), default="open",
@@ -425,10 +572,43 @@ def build_parser() -> argparse.ArgumentParser:
                    help="app mix, e.g. bfs=0.8,pr=0.1,sssp=0.1")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-query latency budget (seconds)")
-    p.add_argument("--seed", type=int, default=0)
-    p.add_argument("--emit-metrics", metavar="PATH", default=None,
-                   help="write the serve.* metrics JSON here")
     p.set_defaults(fn=cmd_serve_bench)
+
+    p = sub.add_parser(
+        "cluster-bench",
+        help="benchmark the sharded replica pool vs the single broker",
+        parents=[common],
+    )
+    _add_graph_args(p)
+    p.add_argument("--scheduler", choices=sorted(SCHEDULERS), default="sage")
+    p.add_argument("--queries", type=int, default=64)
+    p.add_argument("--rate", type=float, default=100.0,
+                   help="open-loop Poisson arrival rate (qps)")
+    p.add_argument("--replicas", type=int, default=2)
+    p.add_argument("--routing", choices=("round_robin", "least_outstanding",
+                                         "affinity"),
+                   default="affinity")
+    p.add_argument("--cache-capacity", type=int, default=1024,
+                   help="result-cache entries (0 disables caching)")
+    p.add_argument("--rate-limit", type=float, default=None,
+                   help="per-client token-bucket rate (qps; default: off)")
+    p.add_argument("--burst", type=float, default=16.0,
+                   help="token-bucket burst capacity")
+    p.add_argument("--max-concurrency", type=int, default=64,
+                   help="AIMD concurrency limiter ceiling")
+    p.add_argument("--batch-window", type=float, default=0.05,
+                   help="micro-batching window (seconds)")
+    p.add_argument("--max-batch-size", type=int, default=64)
+    p.add_argument("--hot-fraction", type=float, default=0.8,
+                   help="fraction of source-bearing queries redrawn from "
+                        "the hot set (0 disables skew)")
+    p.add_argument("--hot-set", type=int, default=8,
+                   help="hot-set size for the skewed workload")
+    p.add_argument("--mix", default=None,
+                   help="app mix, e.g. bfs=0.5,sssp=0.4,pr=0.1")
+    p.add_argument("--deadline", type=float, default=None,
+                   help="per-query latency budget (seconds)")
+    p.set_defaults(fn=cmd_cluster_bench)
 
     return parser
 

@@ -246,7 +246,20 @@ def run_app(
     metrics: MetricsRegistry | None = None,
     sanitizer: "Sanitizer | None" = None,
 ) -> RunResult:
-    """One-shot convenience wrapper around :class:`TraversalPipeline`."""
+    """One-shot convenience wrapper around :class:`TraversalPipeline`.
+
+    The ``sanitizer=`` spelling is deprecated: use
+    ``repro.api.run(..., checks=...)``, which wires the sanitizer and
+    returns its report alongside the result.
+    """
+    if sanitizer is not None:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "run_app.sanitizer",
+            "run_app(..., sanitizer=...) is deprecated; use "
+            "repro.api.run(..., checks=...) instead",
+        )
     pipeline = TraversalPipeline(
         graph, scheduler, device, metrics=metrics, sanitizer=sanitizer
     )

@@ -1,0 +1,30 @@
+"""Once-per-process deprecation warnings for legacy entry points.
+
+The :mod:`repro.api` facade (PR 5) replaced several accreted spellings
+(``run_app(..., sanitizer=...)``, direct :class:`~repro.serve.broker.
+QueryBroker` construction).  The legacy spellings keep working, but each
+emits **exactly one** :class:`DeprecationWarning` per process — enough
+to surface the migration without flooding a service's logs at request
+rate.  ``tests/test_api_deprecations.py`` pins the exactly-once
+contract; the SAGE005 lint rule keeps the library itself off the
+deprecated spellings.
+"""
+
+from __future__ import annotations
+
+import warnings
+
+_WARNED: set[str] = set()
+
+
+def warn_once(key: str, message: str, *, stacklevel: int = 3) -> None:
+    """Emit ``message`` as a DeprecationWarning, once per ``key``."""
+    if key in _WARNED:
+        return
+    _WARNED.add(key)
+    warnings.warn(message, DeprecationWarning, stacklevel=stacklevel)
+
+
+def reset() -> None:
+    """Forget which warnings fired (test isolation only)."""
+    _WARNED.clear()

@@ -44,6 +44,14 @@ class AdmissionError(ServiceError):
     """A request was refused at admission (bounded queue full / shedding)."""
 
 
+class ThrottledError(AdmissionError):
+    """A request exceeded its client class's token-bucket rate limit.
+
+    Distinct from generic shedding: throttling is per-client back-pressure
+    (the client is over its budget), not a statement about service load.
+    """
+
+
 class DeadlineExceededError(ServiceError):
     """A request's deadline passed before a result could be delivered."""
 

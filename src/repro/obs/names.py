@@ -112,6 +112,33 @@ SERVE_COUNTERS: frozenset[str] = frozenset(
     }
 )
 
+#: Counters emitted by the cluster tier (``repro.serve.cluster`` plus
+#: its admission/cache collaborators in ``repro.serve``).
+CLUSTER_COUNTERS: frozenset[str] = frozenset(
+    {
+        "cluster.requests",
+        "cluster.admitted",
+        "cluster.throttled",
+        "cluster.shed",
+        "cluster.routed",
+        "cluster.cache_hits",
+        "cluster.cache_misses",
+        "cluster.cache_evictions",
+        "cluster.cache_invalidations",
+        "cluster.graph_updates",
+    }
+)
+
+#: Counters emitted by the unified facade (``repro.api``).
+API_COUNTERS: frozenset[str] = frozenset(
+    {
+        "api.runs",
+        "api.serve_sessions",
+        "api.cluster_sessions",
+        "api.bench_runs",
+    }
+)
+
 #: All statically-known counter names.
 COUNTERS: frozenset[str] = (
     SAGE_COUNTERS
@@ -121,6 +148,8 @@ COUNTERS: frozenset[str] = (
     | MULTIGPU_COUNTERS
     | SANITIZER_COUNTERS
     | SERVE_COUNTERS
+    | CLUSTER_COUNTERS
+    | API_COUNTERS
 )
 
 #: Gauges emitted by single-run entry points (CLI / benchmarks).
@@ -144,8 +173,23 @@ SERVE_GAUGES: frozenset[str] = frozenset(
     }
 )
 
+#: Gauges emitted by the cluster tier (``repro.serve.cluster``).
+CLUSTER_GAUGES: frozenset[str] = frozenset(
+    {
+        "cluster.cache_hit_ratio",
+        "cluster.throttle_level",
+        "cluster.concurrency_limit",
+        "cluster.replica_occupancy_mean",
+        "cluster.latency_p50",
+        "cluster.latency_p95",
+        "cluster.latency_p99",
+        "cluster.throughput_qps",
+        "cluster.speedup_vs_single_broker",
+    }
+)
+
 #: All statically-known gauge names.
-GAUGES: frozenset[str] = RUN_GAUGES | SERVE_GAUGES
+GAUGES: frozenset[str] = RUN_GAUGES | SERVE_GAUGES | CLUSTER_GAUGES
 
 #: All statically-known span names.
 SPANS: frozenset[str] = frozenset(
@@ -158,6 +202,7 @@ SPANS: frozenset[str] = frozenset(
         "serve.run",
         "serve.batch",
         "serve.request",
+        "cluster.run",
     }
 )
 

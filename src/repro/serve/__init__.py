@@ -3,12 +3,21 @@
 The serving layer of the reproduction: typed query requests, a
 micro-batcher that coalesces compatible queries into MS-BFS-style
 batched kernels, a bounded-queue broker with a worker pool over the
-simulated multi-GPU runtime, and seeded closed-/open-loop load
-generators.  See the README "Serving" section for the API tour and
+simulated multi-GPU runtime, seeded closed-/open-loop load generators,
+and the cluster tier — sharded replicas behind pluggable routing,
+adaptive admission control and a graph-epoch-versioned result cache.
+See the README "Serving"/"Scaling out" sections for the API tour and
 DESIGN.md for why micro-batching preserves the cost model's
 comparisons.
 """
 
+from repro.serve.admission import (
+    AdaptiveConcurrencyLimiter,
+    AdmissionConfig,
+    AdmissionController,
+    AdmissionDecision,
+    TokenBucket,
+)
 from repro.serve.batching import (
     Batch,
     BatchItem,
@@ -21,6 +30,20 @@ from repro.serve.broker import (
     PendingQuery,
     QueryBroker,
     raise_for_status,
+)
+from repro.serve.cache import (
+    GraphStore,
+    ResultCache,
+    graph_fingerprint,
+    result_cache_key,
+)
+from repro.serve.cluster import (
+    ROUTING_POLICIES,
+    ClusterBenchReport,
+    ClusterPool,
+    Router,
+    publish_cluster_gauges,
+    simulate_cluster_open_loop,
 )
 from repro.serve.executor import (
     BatchExecution,
@@ -38,6 +61,7 @@ from repro.serve.loadgen import (
     run_closed_loop,
     sequential_baseline,
     simulate_open_loop,
+    skew_sources,
 )
 from repro.serve.request import (
     SERVE_APPS,
@@ -48,31 +72,47 @@ from repro.serve.request import (
 )
 
 __all__ = [
+    "AdaptiveConcurrencyLimiter",
+    "AdmissionConfig",
+    "AdmissionController",
+    "AdmissionDecision",
     "Batch",
     "BatchExecution",
     "BatchExecutor",
     "BatchItem",
     "BrokerStats",
+    "ClusterBenchReport",
+    "ClusterPool",
     "DEFAULT_MIX",
     "DEFAULT_PARAMS",
+    "GraphStore",
     "MicroBatcher",
     "PendingQuery",
     "QueryBroker",
     "QueryRequest",
     "QueryResponse",
     "QueryStatus",
+    "ROUTING_POLICIES",
+    "ResultCache",
+    "Router",
     "SERVE_APPS",
     "ServeBenchReport",
+    "TokenBucket",
     "batch_key",
     "generate_queries",
+    "graph_fingerprint",
     "make_single_app",
     "normalize_params",
     "occupancy_mean",
     "open_loop_arrivals",
+    "publish_cluster_gauges",
     "publish_report_gauges",
     "raise_for_status",
+    "result_cache_key",
     "run_closed_loop",
     "run_direct",
     "sequential_baseline",
+    "simulate_cluster_open_loop",
     "simulate_open_loop",
+    "skew_sources",
 ]

@@ -35,6 +35,7 @@ from dataclasses import dataclass, field
 import numpy as np
 
 from repro.core.scheduler import Scheduler
+from repro.deprecation import warn_once
 from repro.errors import (
     AdmissionError,
     DeadlineExceededError,
@@ -57,6 +58,8 @@ class PendingQuery:
         self.request = request
         self._event = threading.Event()
         self._response: QueryResponse | None = None
+        self._callbacks: list[Callable[[QueryResponse], None]] = []
+        self._callback_lock = threading.Lock()
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -70,9 +73,29 @@ class PendingQuery:
         assert self._response is not None
         return self._response
 
+    def add_done_callback(
+        self, callback: Callable[[QueryResponse], None]
+    ) -> None:
+        """Call ``callback(response)`` when the query resolves.
+
+        Invoked synchronously by the resolving thread; if the query has
+        already resolved, the callback fires immediately.  The cluster
+        layer uses this for cache fills and admission feedback.
+        """
+        with self._callback_lock:
+            if not self._event.is_set():
+                self._callbacks.append(callback)
+                return
+        assert self._response is not None
+        callback(self._response)
+
     def _resolve(self, response: QueryResponse) -> None:
-        self._response = response
-        self._event.set()
+        with self._callback_lock:
+            self._response = response
+            self._event.set()
+            callbacks = list(self._callbacks)
+        for callback in callbacks:
+            callback(response)
 
 
 def raise_for_status(response: QueryResponse) -> QueryResponse:
@@ -127,7 +150,15 @@ class QueryBroker:
         executor: BatchExecutor | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        _internal: bool = False,
     ) -> None:
+        if not _internal:
+            warn_once(
+                "QueryBroker",
+                "constructing QueryBroker directly is deprecated; use "
+                "repro.api.serve(...) which wires graphs, scheduler and "
+                "metrics consistently",
+            )
         if batch_window < 0:
             raise InvalidParameterError("batch_window must be >= 0")
         if max_batch_size < 1:

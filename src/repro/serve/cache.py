@@ -1,0 +1,283 @@
+"""Versioned query-result cache and the graph store that versions it.
+
+Repeated traversal queries are the common case of a serving deployment
+(hot sources, shared PageRank parameter sets), and their results are
+pure functions of ``(graph contents, app, params, source)`` — so a cache
+can short-circuit execution entirely *provided it can never serve a
+stale read*.  Staleness is ruled out structurally, not by TTLs:
+
+* every cache key embeds the owning graph's **update epoch** and a
+  content **fingerprint**; a :class:`~repro.graph.dynamic.DynamicGraph`
+  merge bumps the epoch via its listener hook, so post-update lookups
+  simply miss (and the old epoch's entries are purged);
+* values are stored and returned as **copies**, so cached arrays can
+  never alias a caller's (or another response's) buffers.
+
+:class:`GraphStore` owns the handle → graph mapping shared by every
+replica of a cluster, tracks epochs/fingerprints, and fans updated CSR
+snapshots out to subscribers (the replica brokers).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import threading
+from collections import OrderedDict
+from collections.abc import Callable, Mapping
+from typing import Any
+
+import numpy as np
+
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.graph.dynamic import DynamicGraph
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+from repro.serve.request import QueryRequest
+
+#: A cache key: (graph handle, epoch, fingerprint, app, params, source).
+CacheKey = tuple[str, int, str, str, tuple[tuple[str, Any], ...], int | None]
+
+
+def graph_fingerprint(graph: CSRGraph) -> str:
+    """Content hash of a CSR (shape + offsets + targets bytes).
+
+    Two structurally identical graphs fingerprint equally even when they
+    are distinct objects, so a cache survives graph re-registration; any
+    edge difference changes the digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(int(graph.num_nodes).to_bytes(8, "little"))
+    digest.update(np.ascontiguousarray(graph.offsets).tobytes())
+    digest.update(np.ascontiguousarray(graph.targets).tobytes())
+    return digest.hexdigest()[:16]
+
+
+def result_cache_key(
+    request: QueryRequest, epoch: int, fingerprint: str
+) -> CacheKey:
+    """The canonical key a request's result is cached under."""
+    return (
+        request.graph,
+        epoch,
+        fingerprint,
+        request.app,
+        request.params,
+        None if request.source is None else int(request.source),
+    )
+
+
+class ResultCache:
+    """Bounded LRU cache of query results, versioned by graph epoch.
+
+    ``capacity`` bounds the entry count (0 disables caching entirely —
+    every ``get`` misses, every ``put`` is dropped).  Thread-safe; the
+    threaded cluster pool and the virtual-time simulator share it.
+    """
+
+    def __init__(
+        self,
+        capacity: int = 1024,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if capacity < 0:
+            raise InvalidParameterError("capacity must be >= 0")
+        self.capacity = int(capacity)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._lock = threading.Lock()
+        self._entries: OrderedDict[CacheKey, dict[str, np.ndarray]] = (
+            OrderedDict()
+        )
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self.invalidations = 0
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def hit_ratio(self) -> float:
+        total = self.hits + self.misses
+        return self.hits / total if total else 0.0
+
+    @staticmethod
+    def _copy(result: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
+        return {key: np.asarray(value).copy() for key, value in result.items()}
+
+    def get(self, key: CacheKey) -> dict[str, np.ndarray] | None:
+        """A fresh copy of the cached result, or ``None`` on a miss."""
+        with self._lock:
+            entry = self._entries.get(key)
+            if entry is None:
+                self.misses += 1
+                self.metrics.count("cluster.cache_misses")
+                return None
+            self._entries.move_to_end(key)
+            self.hits += 1
+            self.metrics.count("cluster.cache_hits")
+            return self._copy(entry)
+
+    def put(self, key: CacheKey, result: Mapping[str, np.ndarray]) -> None:
+        """Store a copy of ``result``; evicts LRU entries past capacity."""
+        if self.capacity == 0:
+            return
+        with self._lock:
+            self._entries[key] = self._copy(result)
+            self._entries.move_to_end(key)
+            while len(self._entries) > self.capacity:
+                self._entries.popitem(last=False)
+                self.evictions += 1
+                self.metrics.count("cluster.cache_evictions")
+
+    def invalidate_graph(self, handle: str, *, keep_epoch: int) -> int:
+        """Drop every entry of ``handle`` whose epoch predates
+        ``keep_epoch``; returns the number purged.
+
+        Epochs are embedded in keys, so stale entries could never *hit*
+        anyway — the purge reclaims their memory eagerly instead of
+        waiting for LRU pressure.
+        """
+        with self._lock:
+            stale = [
+                key
+                for key in self._entries
+                if key[0] == handle and key[1] < keep_epoch
+            ]
+            for key in stale:
+                del self._entries[key]
+            self.invalidations += len(stale)
+            if stale:
+                self.metrics.count(
+                    "cluster.cache_invalidations", len(stale)
+                )
+            return len(stale)
+
+    def clear(self) -> None:
+        with self._lock:
+            self._entries.clear()
+
+
+class GraphStore:
+    """Handle → graph mapping with epochs, fingerprints and update fanout.
+
+    Accepts plain :class:`CSRGraph` values (epoch pinned at 0) and
+    :class:`DynamicGraph` values (epoch bumped on every merge via the
+    dynamic graph's listener hook).  ``subscribe`` registers a callback
+    fired with ``(handle, csr, epoch)`` after every update — the cluster
+    pool uses it to swap fresh snapshots into its replica brokers.
+    """
+
+    def __init__(
+        self, graphs: Mapping[str, CSRGraph | DynamicGraph]
+    ) -> None:
+        if not graphs:
+            raise InvalidParameterError("at least one graph is required")
+        self._lock = threading.Lock()
+        self._dynamic: dict[str, DynamicGraph] = {}
+        self._current: dict[str, CSRGraph] = {}
+        self._epochs: dict[str, int] = {}
+        self._fingerprints: dict[str, str] = {}
+        self._subscribers: list[Callable[[str, CSRGraph, int], None]] = []
+        for handle, graph in graphs.items():
+            if isinstance(graph, DynamicGraph):
+                self._dynamic[handle] = graph
+                csr = graph.graph  # flushes anything already pending
+                graph.add_listener(
+                    lambda new, handle=handle: self._on_update(handle, new)
+                )
+            else:
+                csr = graph
+            self._current[handle] = csr
+            self._epochs[handle] = 0
+            self._fingerprints[handle] = graph_fingerprint(csr)
+
+    @property
+    def handles(self) -> list[str]:
+        return sorted(self._current)
+
+    def subscribe(
+        self, callback: Callable[[str, CSRGraph, int], None]
+    ) -> None:
+        self._subscribers.append(callback)
+
+    def _on_update(self, handle: str, csr: CSRGraph) -> None:
+        with self._lock:
+            self._current[handle] = csr
+            self._epochs[handle] += 1
+            self._fingerprints[handle] = graph_fingerprint(csr)
+            epoch = self._epochs[handle]
+        for callback in self._subscribers:
+            callback(handle, csr, epoch)
+
+    def refresh(self, handle: str) -> None:
+        """Flush any pending dynamic updates so the epoch is current.
+
+        Cache-key computation must see the post-update epoch; touching
+        the dynamic graph's ``.graph`` property forces the flush (which
+        fires the listener, which bumps the epoch).
+        """
+        dynamic = self._dynamic.get(handle)
+        if dynamic is not None and dynamic.pending_updates:
+            _ = dynamic.graph
+
+    def apply_update(self, handle: str, src: Any, dst: Any) -> int:
+        """Insert edges into a dynamic handle and flush immediately.
+
+        Returns the post-merge epoch.  Convenience for the cluster
+        simulator's scripted mid-stream updates; raises for handles that
+        were registered as plain (non-dynamic) CSR graphs.
+        """
+        self._check(handle)
+        dynamic = self._dynamic.get(handle)
+        if dynamic is None:
+            raise InvalidParameterError(
+                f"graph {handle!r} is not dynamic; register a "
+                "DynamicGraph to apply updates"
+            )
+        dynamic.insert_edges(np.asarray(src), np.asarray(dst))
+        dynamic.flush()
+        return self.epoch(handle)
+
+    def graph(self, handle: str) -> CSRGraph:
+        self._check(handle)
+        self.refresh(handle)
+        with self._lock:
+            return self._current[handle]
+
+    def epoch(self, handle: str) -> int:
+        self._check(handle)
+        self.refresh(handle)
+        with self._lock:
+            return self._epochs[handle]
+
+    def fingerprint(self, handle: str) -> str:
+        self._check(handle)
+        self.refresh(handle)
+        with self._lock:
+            return self._fingerprints[handle]
+
+    def key_for(self, request: QueryRequest) -> CacheKey:
+        """The cache key of ``request`` against current graph contents."""
+        self._check(request.graph)
+        self.refresh(request.graph)
+        with self._lock:
+            return result_cache_key(
+                request,
+                self._epochs[request.graph],
+                self._fingerprints[request.graph],
+            )
+
+    def snapshot(self) -> dict[str, CSRGraph]:
+        """Current CSR per handle (the mapping replica brokers serve)."""
+        for handle in self._dynamic:
+            self.refresh(handle)
+        with self._lock:
+            return dict(self._current)
+
+    def _check(self, handle: str) -> None:
+        if handle not in self._current:
+            raise InvalidParameterError(
+                f"unknown graph handle {handle!r}; "
+                f"registered: {self.handles}"
+            )

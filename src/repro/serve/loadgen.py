@@ -89,6 +89,49 @@ def generate_queries(
     return requests
 
 
+def skew_sources(
+    requests: list[QueryRequest],
+    *,
+    hot_set_size: int,
+    hot_fraction: float,
+    num_nodes: int,
+    seed: int = 0,
+) -> list[QueryRequest]:
+    """Remap query sources onto a hot set (serving traffic is skewed).
+
+    With probability ``hot_fraction`` a source-bearing query is redrawn
+    from a fixed ``hot_set_size``-node hot set; otherwise it keeps its
+    original (uniform) source.  This is the workload shape that makes a
+    result cache earn its keep — repeated hot keys across the whole run,
+    not just within one batching window.
+    """
+    if hot_set_size < 1:
+        raise InvalidParameterError("hot_set_size must be >= 1")
+    if not 0.0 <= hot_fraction <= 1.0:
+        raise InvalidParameterError("hot_fraction must be in [0, 1]")
+    rng = np.random.default_rng(seed)
+    hot_set = rng.choice(num_nodes, size=min(hot_set_size, num_nodes),
+                         replace=False)
+    skewed: list[QueryRequest] = []
+    for request in requests:
+        if request.source is None:
+            skewed.append(request)
+            continue
+        source = request.source
+        if rng.random() < hot_fraction:
+            source = int(rng.choice(hot_set))
+        skewed.append(
+            QueryRequest(
+                app=request.app,
+                graph=request.graph,
+                source=source,
+                params=request.params,
+                deadline_seconds=request.deadline_seconds,
+            )
+        )
+    return skewed
+
+
 def open_loop_arrivals(
     num_queries: int, rate_qps: float, *, seed: int = 0
 ) -> np.ndarray:
@@ -345,7 +388,7 @@ def run_closed_loop(
     responses: list[QueryResponse | None] = [None] * len(requests)
     cursor = {"next": 0}
     cursor_lock = threading.Lock()
-    broker = QueryBroker(
+    broker = QueryBroker(  # sage: allow(SAGE005) - sanctioned internal path
         {graph_name: graph},
         scheduler_factory,
         batch_window=batch_window,
@@ -354,6 +397,7 @@ def run_closed_loop(
         queue_capacity=queue_capacity,
         num_gpus=num_gpus,
         metrics=metrics,
+        _internal=True,
     )
 
     def client() -> None:

@@ -1,0 +1,123 @@
+"""Exactly-once deprecation contract for the legacy entry points.
+
+Two spellings were superseded by :mod:`repro.api`:
+
+* ``run_app(..., sanitizer=...)``  ->  ``api.run(..., checks=True)``
+* ``QueryBroker(...)`` directly    ->  ``api.serve(...)``
+
+Both keep working, both must emit exactly one
+:class:`DeprecationWarning` per process — never zero (silent
+deprecation helps nobody) and never per-call (a serving loop would
+flood its logs).
+"""
+
+from __future__ import annotations
+
+import warnings
+
+import numpy as np
+import pytest
+
+from repro import deprecation
+from repro.analysis import Sanitizer
+from repro.apps import BFSApp
+from repro.core import SageScheduler, run_app
+from repro.graph import generators
+from repro.serve import QueryBroker
+
+
+@pytest.fixture(scope="module")
+def graph():
+    return generators.rmat(6, edge_factor=6, seed=3)
+
+
+@pytest.fixture(autouse=True)
+def fresh_warning_state():
+    deprecation.reset()
+    yield
+    deprecation.reset()
+
+
+def _collect(fn):
+    with warnings.catch_warnings(record=True) as caught:
+        warnings.simplefilter("always")
+        out = fn()
+    return out, [
+        w for w in caught if issubclass(w.category, DeprecationWarning)
+    ]
+
+
+class TestRunAppSanitizer:
+    def test_warns_exactly_once_across_calls(self, graph):
+        source = int(np.argmax(graph.out_degrees()))
+
+        def legacy():
+            return run_app(
+                graph, BFSApp(), SageScheduler(),
+                source=source, sanitizer=Sanitizer(),
+            )
+
+        first, warned_first = _collect(legacy)
+        assert len(warned_first) == 1
+        assert "api.run" in str(warned_first[0].message)
+        second, warned_second = _collect(legacy)
+        assert warned_second == []  # once per process, not per call
+        # The legacy spelling still works while it warns.
+        np.testing.assert_array_equal(
+            first.result["dist"], second.result["dist"]
+        )
+
+    def test_sanitizer_none_does_not_warn(self, graph):
+        _, warned = _collect(
+            lambda: run_app(graph, BFSApp(), SageScheduler(), source=0)
+        )
+        assert warned == []
+
+
+class TestDirectBrokerConstruction:
+    def test_warns_exactly_once_across_constructions(self, graph):
+        def legacy():
+            broker = QueryBroker({"g": graph}, SageScheduler)
+            broker.close(drain=False)
+            return broker
+
+        _, warned_first = _collect(legacy)
+        assert len(warned_first) == 1
+        assert "api.serve" in str(warned_first[0].message)
+        _, warned_second = _collect(legacy)
+        assert warned_second == []
+
+    def test_api_serve_does_not_warn(self, graph):
+        from repro import api
+
+        def sanctioned():
+            with api.serve(graph, batch_window=0.001):
+                pass
+
+        _, warned = _collect(sanctioned)
+        assert warned == []
+
+
+class TestWarnOnce:
+    def test_reset_rearms(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("ignore")
+            deprecation.warn_once("k", "message one")
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            deprecation.warn_once("k", "message one")
+        assert caught == []
+        deprecation.reset()
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            deprecation.warn_once("k", "message one")
+        assert len(caught) == 1
+
+    def test_keys_are_independent(self):
+        with warnings.catch_warnings(record=True) as caught:
+            warnings.simplefilter("always")
+            deprecation.warn_once("a", "message a")
+            deprecation.warn_once("b", "message b")
+        assert [str(w.message) for w in caught] == [
+            "message a", "message b",
+        ]

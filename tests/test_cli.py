@@ -2,7 +2,7 @@
 
 import pytest
 
-from repro.cli import main
+from repro.cli import build_parser, main
 from repro.graph import datasets, io
 
 
@@ -110,3 +110,91 @@ class TestServeBench:
         out = capsys.readouterr().out
         assert "closed-loop" in out
         assert "ok=8" in out
+
+
+class TestClusterBench:
+    def test_deterministic_and_reports_speedup(self, capsys):
+        args = ["cluster-bench", "--dataset", "twitter", "--scale",
+                "0.05", "--queries", "16", "--rate", "100",
+                "--replicas", "2", "--seed", "7"]
+        assert main(args) == 0
+        first = capsys.readouterr().out
+        assert main(args) == 0
+        assert capsys.readouterr().out == first  # virtual time: exact
+        assert "speedup vs single broker" in first
+        assert "ok=16" in first
+        assert "cache" in first
+
+    def test_emits_cluster_gauges(self, tmp_path):
+        import json
+
+        out = tmp_path / "cluster.json"
+        assert main(["cluster-bench", "--dataset", "twitter", "--scale",
+                     "0.05", "--queries", "12", "--rate", "100",
+                     "--emit-metrics", str(out)]) == 0
+        report = json.loads(out.read_text())
+        gauges = report["gauges"]
+        assert gauges["cluster.speedup_vs_single_broker"] > 0.0
+        assert 0.0 <= gauges["cluster.cache_hit_ratio"] <= 1.0
+        assert report["counters"]["cluster.requests"] == 12
+
+    def test_rate_limit_throttles(self, capsys):
+        assert main(["cluster-bench", "--dataset", "twitter", "--scale",
+                     "0.05", "--queries", "16", "--rate", "400",
+                     "--rate-limit", "10", "--burst", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "throttled" in out
+        assert "ok=16" not in out  # some queries were shed
+
+    def test_sanitize_audits_the_oracle(self, capsys):
+        assert main(["cluster-bench", "--dataset", "twitter", "--scale",
+                     "0.05", "--queries", "8", "--sanitize"]) == 0
+        assert "sanitizer (oracle runs): clean" in capsys.readouterr().out
+
+
+class TestSharedFlagFamily:
+    """``run``/``serve-bench``/``cluster-bench`` share one flag parent.
+
+    The parser is the contract: every command in the family accepts the
+    same spelling of the shared flags, so scripts can swap subcommands
+    without re-learning the options.
+    """
+
+    FAMILY = ("run", "serve-bench", "cluster-bench")
+    SHARED = ("--emit-metrics", "--sanitize", "--sanitize-report",
+              "--seed")
+
+    def _options(self, command):
+        parser = build_parser()
+        sub = next(
+            a for a in parser._actions
+            if hasattr(a, "choices") and command in (a.choices or {})
+        )
+        return {
+            opt
+            for action in sub.choices[command]._actions
+            for opt in action.option_strings
+        }
+
+    @pytest.mark.parametrize("command", FAMILY)
+    def test_every_family_member_accepts_the_shared_flags(self, command):
+        options = self._options(command)
+        for flag in self.SHARED:
+            assert flag in options, f"{command} lacks {flag}"
+
+    def test_seed_changes_the_run_source(self, capsys):
+        assert main(["run", "--dataset", "brain", "--scale", "0.05",
+                     "--app", "bfs", "--seed", "3"]) == 0
+        first = capsys.readouterr().out
+        assert main(["run", "--dataset", "brain", "--scale", "0.05",
+                     "--app", "bfs", "--seed", "3"]) == 0
+        assert capsys.readouterr().out == first  # seeded => reproducible
+
+    def test_sanitize_report_implies_sanitize(self, tmp_path):
+        import json
+
+        report = tmp_path / "findings.json"
+        assert main(["run", "--dataset", "brain", "--scale", "0.05",
+                     "--app", "bfs", "--sanitize-report",
+                     str(report)]) == 0
+        assert json.loads(report.read_text())["clean"] is True

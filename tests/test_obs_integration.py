@@ -221,6 +221,7 @@ class TestBenchTrajectory:
         assert set(first["workloads"]) == {
             "bfs_rmat", "pagerank_rmat", "sssp_rmat", "bfs_rmat_outofcore",
             "bfs_rmat_100k", "pagerank_rmat_100k", "serve_openloop",
+            "cluster_openloop",
         }
         for row in first["workloads"].values():
             # The serving row carries only the metrics that exist for a
@@ -235,6 +236,16 @@ class TestBenchTrajectory:
         row = bench._serve_row(smoke=True)
         assert row["serve_speedup_vs_sequential"] >= bench.SERVE_SPEEDUP_FLOOR
         assert row["serve_batch_occupancy_mean"] >= 8.0
+        assert row["simulated_seconds"] > 0
+
+    def test_cluster_tier_meets_speedup_floor(self):
+        bench = load_bench_trajectory()
+        row = bench._cluster_row(smoke=True)
+        assert (
+            row["cluster_speedup_vs_single_broker"]
+            >= bench.CLUSTER_SPEEDUP_FLOOR
+        )
+        assert row["cluster_cache_hit_ratio"] > 0.5
         assert row["simulated_seconds"] > 0
 
     def test_committed_baseline_is_current(self):

@@ -84,6 +84,51 @@ class TestEmitSitesResolve:
         assert emitted["set_gauge"] == set(names.SERVE_GAUGES)
         assert emitted["span"] == serve_spans
 
+    def test_cluster_emits_exactly_the_registered_cluster_names(self):
+        """The cluster tier's emit sites == the ``cluster.*`` registry.
+
+        Same AST collection as the serve drift test, scanned across all
+        of ``repro/serve`` (the admission and cache collaborators emit
+        cluster-namespaced counters too).
+        """
+        emitted: dict[str, set[str]] = {
+            "count": set(), "set_counter": set(),
+            "set_gauge": set(), "span": set(),
+        }
+        for path in sorted((SRC / "serve").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in emitted
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("cluster.")
+                ):
+                    emitted[node.func.attr].add(node.args[0].value)
+        counters = emitted["count"] | emitted["set_counter"]
+        cluster_spans = {s for s in names.SPANS if s.startswith("cluster.")}
+        assert counters == set(names.CLUSTER_COUNTERS)
+        assert emitted["set_gauge"] == set(names.CLUSTER_GAUGES)
+        assert emitted["span"] == cluster_spans
+
+    def test_api_emits_exactly_the_registered_api_counters(self):
+        """The facade's ``api.*`` literals == the canonical list."""
+        tree = ast.parse((SRC / "api.py").read_text(encoding="utf-8"))
+        emitted = {
+            node.args[0].value
+            for node in ast.walk(tree)
+            if isinstance(node, ast.Call)
+            and isinstance(node.func, ast.Attribute)
+            and node.func.attr == "count"
+            and node.args
+            and isinstance(node.args[0], ast.Constant)
+            and isinstance(node.args[0].value, str)
+        }
+        assert emitted == set(names.API_COUNTERS)
+
     def test_bench_carry_list_is_registered(self):
         """The trajectory benchmark only carries registered counters."""
         source = (ROOT / "benchmarks" / "bench_trajectory.py").read_text(
@@ -104,11 +149,15 @@ class TestRegistryStructure:
             | names.MULTIGPU_COUNTERS
             | names.SANITIZER_COUNTERS
             | names.SERVE_COUNTERS
+            | names.CLUSTER_COUNTERS
+            | names.API_COUNTERS
         )
         assert names.COUNTERS == union
 
     def test_gauges_is_the_union_of_subsystem_sets(self):
-        assert names.GAUGES == names.RUN_GAUGES | names.SERVE_GAUGES
+        assert names.GAUGES == (
+            names.RUN_GAUGES | names.SERVE_GAUGES | names.CLUSTER_GAUGES
+        )
 
     def test_kinds_do_not_overlap(self):
         assert not names.COUNTERS & names.GAUGES
