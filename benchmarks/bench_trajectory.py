@@ -66,6 +66,17 @@ SERVE_SPEEDUP_FLOOR = 2.0
 #: hot-key-skewed workload (acceptance floor, enforced every run).
 CLUSTER_SPEEDUP_FLOOR = 2.0
 
+#: Committed tuned profiles must beat the default configuration by at
+#: least this factor (total simulated device seconds, SLO-feasible) on
+#: at least :data:`TUNED_MIN_CATEGORIES` graph categories.  Measured at
+#: commit time: rmat 1.157x, road 1.083x — the floor leaves headroom
+#: but still fails if tuning ever degrades to a no-op.
+TUNED_SPEEDUP_FLOOR = 1.05
+TUNED_MIN_CATEGORIES = 2
+
+#: Where the committed tuned profiles live (repo-root relative).
+PROFILES_DIR = Path(__file__).resolve().parent.parent / "profiles"
+
 
 def _graph(smoke: bool):
     scale = 10 if smoke else 13
@@ -219,6 +230,60 @@ def _cluster_row(smoke: bool) -> dict:
     }
 
 
+def _tuned_row() -> dict:
+    """The ``tuned_vs_default`` tier: committed profiles vs defaults.
+
+    For every committed profile the evaluator replays the profile's own
+    workload twice — once with the default configuration, once with the
+    tuned point — and records the deterministic device-seconds speedup
+    per graph category.  The profile's graph fingerprint is re-derived
+    from the workload, so a regenerated graph (stale profile) fails
+    loudly here instead of silently comparing unrelated configurations.
+    Same size at --smoke and full: the tuning workloads are fixed.
+    """
+    from repro.serve.cache import graph_fingerprint
+    from repro.tune import CostModelEvaluator, ProfileStore, get_workload
+
+    store = ProfileStore(PROFILES_DIR)
+    paths = store.list()
+    if not paths:
+        raise RuntimeError(
+            f"no tuned profiles under {PROFILES_DIR} — run "
+            "`python -m repro tune --out profiles` and commit the result"
+        )
+    wall_start = time.perf_counter()
+    row: dict[str, float] = {}
+    total_tuned = 0.0
+    total_default = 0.0
+    categories_above_floor = 0
+    for path in paths:
+        profile = store.load(path)
+        evaluator = CostModelEvaluator(get_workload(profile.workload))
+        fingerprint = graph_fingerprint(evaluator.graph)
+        if fingerprint != profile.graph_fingerprint:
+            raise RuntimeError(
+                f"{path.name}: stale profile (graph fingerprint "
+                f"{profile.graph_fingerprint} != {fingerprint}) — retune"
+            )
+        default = evaluator.default()
+        tuned = evaluator.evaluate(profile.point)
+        if not tuned.feasible:
+            raise RuntimeError(
+                f"{path.name}: tuned point is SLO-infeasible — retune"
+            )
+        speedup = default.cost_seconds / tuned.cost_seconds
+        row[f"tuned_speedup_{profile.category}"] = speedup
+        total_tuned += tuned.cost_seconds
+        total_default += default.cost_seconds
+        if speedup >= TUNED_SPEEDUP_FLOOR:
+            categories_above_floor += 1
+    row["simulated_seconds"] = total_tuned
+    row["tuned_default_seconds"] = total_default
+    row["tuned_categories_above_floor"] = float(categories_above_floor)
+    row["wall_seconds"] = time.perf_counter() - wall_start
+    return row
+
+
 def run_suite(smoke: bool, sanitizer=None) -> dict:
     """Execute the suite; returns the BENCH_repro.json payload.
 
@@ -270,6 +335,16 @@ def run_suite(smoke: bool, sanitizer=None) -> dict:
           f"hit={cluster['cluster_cache_hit_ratio']:5.2f} "
           f"sim={cluster['simulated_seconds'] * 1e3:9.4f} ms "
           f"wall={cluster['wall_seconds']:6.2f} s")
+    tuned = _tuned_row()
+    rows["tuned_vs_default"] = tuned
+    speedups = ", ".join(
+        f"{key.removeprefix('tuned_speedup_')}={value:.3f}x"
+        for key, value in sorted(tuned.items())
+        if key.startswith("tuned_speedup_")
+    )
+    print(f"  {'tuned_vs_default':24s} {speedups} "
+          f"sim={tuned['simulated_seconds'] * 1e3:9.4f} ms "
+          f"wall={tuned['wall_seconds']:6.2f} s")
     return {
         "schema_version": SCHEMA_VERSION,
         "suite": "smoke" if smoke else "full",
@@ -372,6 +447,23 @@ def main(argv: list[str] | None = None) -> int:
             f"{cluster['cluster_speedup_vs_single_broker']:.2f}x < "
             f"{CLUSTER_SPEEDUP_FLOOR:.1f}x vs a single broker at equal "
             f"offered load",
+            file=sys.stderr,
+        )
+        return 1
+
+    tuned = current["workloads"]["tuned_vs_default"]
+    if tuned["tuned_categories_above_floor"] < TUNED_MIN_CATEGORIES:
+        missing = [
+            (key.removeprefix("tuned_speedup_"), value)
+            for key, value in sorted(tuned.items())
+            if key.startswith("tuned_speedup_") and value < TUNED_SPEEDUP_FLOOR
+        ]
+        print(
+            f"tuned profiles beat defaults on only "
+            f"{tuned['tuned_categories_above_floor']} categories "
+            f"(need >= {TUNED_MIN_CATEGORIES} at "
+            f">= {TUNED_SPEEDUP_FLOOR:.2f}x); below the floor: "
+            + ", ".join(f"{name}={value:.3f}x" for name, value in missing),
             file=sys.stderr,
         )
         return 1

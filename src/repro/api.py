@@ -1,6 +1,6 @@
-"""The unified entry point: load a graph, run, serve, cluster, bench.
+"""The unified entry point: load a graph, run, serve, cluster, tune, bench.
 
-Everything the CLI and the benchmarks do goes through these five
+Everything the CLI and the benchmarks do goes through these six
 functions; library users should start here instead of wiring
 :class:`~repro.core.pipeline.TraversalPipeline`,
 :class:`~repro.serve.broker.QueryBroker` or the cluster tier by hand.
@@ -22,10 +22,21 @@ it on the result), and ``serve``/``cluster`` replace direct
 :class:`QueryBroker` construction.  The maps :data:`APPS` and
 :data:`SCHEDULERS` are the canonical name → factory registries; the CLI
 imports them from here.
+
+``tune`` runs the :mod:`repro.tune` cost-model search and persists the
+winning configuration as a :class:`~repro.tune.profiles.TunedProfile`.
+``serve`` and ``cluster`` *auto-load* committed profiles: with the
+default ``profile="auto"`` they fingerprint the registered graphs,
+look for a matching profile under ``profiles/`` (override with the
+``REPRO_PROFILE_DIR`` env var), and use its tuned knobs for any
+parameter the caller did not set explicitly.  Explicit arguments
+always win; pass ``profile=None`` to opt out entirely.
 """
 
 from __future__ import annotations
 
+import json
+import pathlib
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Any
@@ -57,7 +68,7 @@ from repro.gpusim.profiler import Profiler
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.serve.admission import AdmissionConfig
 from repro.serve.broker import QueryBroker
-from repro.serve.cache import GraphStore
+from repro.serve.cache import GraphStore, graph_fingerprint
 from repro.serve.cluster import (
     ClusterBenchReport,
     ClusterPool,
@@ -69,6 +80,13 @@ from repro.serve.loadgen import (
     open_loop_arrivals,
     sequential_baseline,
     simulate_open_loop,
+)
+from repro.tune import (
+    ProfileStore,
+    TunedProfile,
+    TuningSpace,
+    TuningWorkload,
+    tune_workload,
 )
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -167,6 +185,39 @@ def _scheduler_factory(
     return SCHEDULERS[scheduler]
 
 
+def _resolve_profile(
+    profile: "TunedProfile | str | None",
+    graphs: Mapping[str, CSRGraph | DynamicGraph] | GraphStore,
+) -> TunedProfile | None:
+    """Resolve the ``profile=`` argument of :func:`serve`/:func:`cluster`.
+
+    ``"auto"`` fingerprints every registered graph and returns the
+    first committed profile that matches one of them (profiles are
+    keyed on graph content, so an epoch bump or regenerated graph
+    silently falls back to defaults).  A path loads that file
+    unconditionally; an instance is used as-is; ``None`` disables.
+    """
+    if profile is None:
+        return None
+    if isinstance(profile, TunedProfile):
+        return profile
+    if profile != "auto":
+        return ProfileStore().load(profile)
+    if isinstance(graphs, GraphStore):
+        fingerprints = [graphs.fingerprint(h) for h in graphs.handles]
+    else:
+        fingerprints = []
+        for graph in graphs.values():
+            csr = graph.graph if isinstance(graph, DynamicGraph) else graph
+            fingerprints.append(graph_fingerprint(csr))
+    store = ProfileStore()
+    for fingerprint in fingerprints:
+        found = store.find(fingerprint)
+        if found is not None:
+            return found
+    return None
+
+
 def load_graph(
     name: str | None = None,
     *,
@@ -237,12 +288,13 @@ def serve(
     graphs: Mapping[str, CSRGraph] | CSRGraph,
     *,
     scheduler: str | Callable[[], Scheduler] = "sage",
-    batch_window: float = 0.01,
-    max_batch_size: int = 64,
+    batch_window: float | None = None,
+    max_batch_size: int | None = None,
     num_workers: int = 2,
     queue_capacity: int = 256,
     num_gpus: int = 1,
     max_retries: int = 1,
+    profile: TunedProfile | str | None = "auto",
     metrics: MetricsRegistry | None = None,
 ) -> QueryBroker:
     """Start a single micro-batching query broker (a context manager).
@@ -250,16 +302,31 @@ def serve(
     This is the supported way to construct a broker — direct
     :class:`QueryBroker` construction is deprecated.  A bare
     :class:`CSRGraph` is registered under the handle ``"default"``.
+
+    With the default ``profile="auto"`` a committed tuned profile
+    matching one of the graphs (by content fingerprint) supplies the
+    batching knobs and scheduler tile floor for any parameter left
+    unset; explicit arguments always win (see :func:`tune`).
     """
     if isinstance(graphs, CSRGraph):
         graphs = {"default": graphs}
     registry = metrics if metrics is not None else NULL_REGISTRY
     registry.count("api.serve_sessions")
+    tuned = _resolve_profile(profile, graphs)
+    factory = _scheduler_factory(scheduler)
+    if tuned is not None:
+        registry.count("api.profiles_applied")
+        if batch_window is None:
+            batch_window = tuned.point.batch_window
+        if max_batch_size is None:
+            max_batch_size = tuned.point.max_batch_size
+        if scheduler == "sage":
+            factory = tuned.point.scheduler_factory()
     return QueryBroker(  # sage: allow(SAGE005) - the sanctioned constructor
         graphs,
-        _scheduler_factory(scheduler),
-        batch_window=batch_window,
-        max_batch_size=max_batch_size,
+        factory,
+        batch_window=batch_window if batch_window is not None else 0.01,
+        max_batch_size=max_batch_size if max_batch_size is not None else 64,
         num_workers=num_workers,
         queue_capacity=queue_capacity,
         num_gpus=num_gpus,
@@ -274,15 +341,16 @@ def cluster(
     *,
     scheduler: str | Callable[[], Scheduler] = "sage",
     num_replicas: int = 2,
-    routing: str = "least_outstanding",
-    batch_window: float = 0.01,
-    max_batch_size: int = 64,
+    routing: str | None = None,
+    batch_window: float | None = None,
+    max_batch_size: int | None = None,
     num_workers: int = 2,
     queue_capacity: int = 256,
     num_gpus: int = 1,
     max_retries: int = 1,
     cache_capacity: int = 1024,
     admission: AdmissionConfig | None = None,
+    profile: TunedProfile | str | None = "auto",
     metrics: MetricsRegistry | None = None,
 ) -> ClusterPool:
     """Start a sharded replica pool (a context manager).
@@ -292,18 +360,37 @@ def cluster(
     top of :func:`serve`-style replicas.  Register a
     :class:`~repro.graph.dynamic.DynamicGraph` to stream edge updates;
     merges propagate to every replica and invalidate the cache.
+
+    With the default ``profile="auto"`` a committed tuned profile
+    matching one of the graphs (by content fingerprint) supplies the
+    batching, routing, admission and tile-floor knobs for any parameter
+    left unset; explicit arguments always win (see :func:`tune`).
     """
     if isinstance(graphs, CSRGraph):
         graphs = {"default": graphs}
     registry = metrics if metrics is not None else NULL_REGISTRY
     registry.count("api.cluster_sessions")
+    tuned = _resolve_profile(profile, graphs)
+    factory = _scheduler_factory(scheduler)
+    if tuned is not None:
+        registry.count("api.profiles_applied")
+        if routing is None:
+            routing = tuned.point.routing
+        if batch_window is None:
+            batch_window = tuned.point.batch_window
+        if max_batch_size is None:
+            max_batch_size = tuned.point.max_batch_size
+        if admission is None:
+            admission = tuned.point.admission_config()
+        if scheduler == "sage":
+            factory = tuned.point.scheduler_factory()
     return ClusterPool(
         graphs,
-        _scheduler_factory(scheduler),
+        factory,
         num_replicas=num_replicas,
-        routing=routing,
-        batch_window=batch_window,
-        max_batch_size=max_batch_size,
+        routing=routing if routing is not None else "least_outstanding",
+        batch_window=batch_window if batch_window is not None else 0.01,
+        max_batch_size=max_batch_size if max_batch_size is not None else 64,
         num_workers=num_workers,
         queue_capacity=queue_capacity,
         num_gpus=num_gpus,
@@ -312,6 +399,51 @@ def cluster(
         admission=admission,
         metrics=metrics,
     )
+
+
+def tune(
+    workload: str | TuningWorkload = "rmat_small",
+    *,
+    budget: int = 32,
+    seed: int = 0,
+    space: TuningSpace | None = None,
+    out: str | None = None,
+    trace: str | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> TunedProfile:
+    """Search the tuning space for one workload (see :mod:`repro.tune`).
+
+    Runs the seeded UCB/MCTS search against the deterministic cost
+    model and returns the winning configuration as a
+    :class:`~repro.tune.profiles.TunedProfile` — never worse than the
+    defaults, which compete on equal terms.  ``out`` saves the profile
+    (canonical JSON, byte-stable for equal inputs) into that directory;
+    ``trace`` writes the full rollout-by-rollout search trace to a JSON
+    file for offline inspection or CI artifacts.
+    """
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    registry.count("api.tune_runs")
+    profile, result = tune_workload(
+        workload, budget=budget, seed=seed, space=space, metrics=metrics
+    )
+    if out is not None:
+        ProfileStore(out).save(profile)
+    if trace is not None:
+        payload = {
+            "workload": profile.workload,
+            "seed": seed,
+            "budget": budget,
+            "evaluations": result.evaluations,
+            "speedup": result.speedup,
+            "rollouts": list(result.trace),
+        }
+        path = pathlib.Path(trace)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        path.write_text(
+            json.dumps(payload, sort_keys=True, indent=2) + "\n",
+            encoding="utf-8",
+        )
+    return profile
 
 
 def bench(
@@ -382,4 +514,5 @@ __all__ = [
     "load_graph",
     "run",
     "serve",
+    "tune",
 ]

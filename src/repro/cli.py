@@ -14,11 +14,14 @@ Subcommands:
   open-loop, fixed seeds; open-loop runs in deterministic virtual time)
 * ``cluster-bench``— benchmark the sharded replica pool (routing +
   admission + result cache) against the single broker on one trace
+* ``tune``      — search the tuning space against the deterministic
+  cost model and save/verify tuned profiles (``--verify DIR``
+  regenerates committed profiles and byte-compares them — the CI gate)
 
-``run``, ``serve-bench`` and ``cluster-bench`` share one flag family
-(``--emit-metrics``, ``--sanitize``, ``--sanitize-report``, ``--seed``)
-via a common parent parser, so observability and determinism knobs are
-spelled identically everywhere.
+``run``, ``serve-bench``, ``cluster-bench`` and ``tune`` share one flag
+family (``--emit-metrics``, ``--sanitize``, ``--sanitize-report``,
+``--seed``) via a common parent parser, so observability and
+determinism knobs are spelled identically everywhere.
 """
 
 from __future__ import annotations
@@ -492,6 +495,81 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_tune(args: argparse.Namespace) -> int:
+    from repro.tune import BENCH_WORKLOADS, ProfileStore
+
+    seed = args.seed if args.seed is not None else 0
+    metrics = MetricsRegistry() if args.emit_metrics else None
+
+    def trace_path(workload: str) -> str | None:
+        if args.trace is None:
+            return None
+        return os.path.join(args.trace, f"{workload}.trace.json")
+
+    if args.verify is not None:
+        store = ProfileStore(args.verify)
+        paths = store.list()
+        if not paths:
+            print(f"no profiles found under {args.verify}", file=sys.stderr)
+            return 2
+        mismatches = 0
+        for path in paths:
+            committed = path.read_text(encoding="utf-8")
+            profile = store.load(path)
+            regenerated = api.tune(
+                profile.workload,
+                budget=profile.budget,
+                seed=profile.seed,
+                space=profile.space,
+                trace=trace_path(profile.workload),
+                metrics=metrics,
+            )
+            ok = regenerated.canonical_json() == committed
+            print(f"  {path.name}: {'ok' if ok else 'MISMATCH'}"
+                  f"   (speedup {regenerated.speedup:.3f}x,"
+                  f" {regenerated.evaluations} evaluations)")
+            if not ok:
+                mismatches += 1
+        if mismatches:
+            print(f"{mismatches} profile(s) did not regenerate identically "
+                  "— rerun `repro tune` and commit the result",
+                  file=sys.stderr)
+            return 1
+        print(f"verified {len(paths)} profile(s): bit-identical")
+    else:
+        if args.workload == "all":
+            workloads = [w.name for w in BENCH_WORKLOADS]
+        else:
+            workloads = [args.workload]
+        for name in workloads:
+            profile = api.tune(
+                name,
+                budget=args.budget,
+                seed=seed,
+                out=args.out,
+                trace=trace_path(name),
+                metrics=metrics,
+            )
+            point = profile.point
+            print(f"tuned {name} ({profile.category}): "
+                  f"speedup {profile.speedup:.3f}x over defaults "
+                  f"({profile.evaluations} evaluations)")
+            print(f"  batch_window={point.batch_window}"
+                  f" max_batch_size={point.max_batch_size}"
+                  f" routing={point.routing}")
+            print(f"  alpha={point.alpha} beta={point.beta}"
+                  f" min_tile={point.min_tile}"
+                  f" max_concurrency={point.max_concurrency}")
+            if args.out is not None:
+                print(f"  profile written to "
+                      f"{ProfileStore(args.out).path_for(name)}")
+    if args.emit_metrics:
+        assert metrics is not None
+        out = write_json(metrics, args.emit_metrics)
+        print(f"  metrics exported to {out}")
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -609,6 +687,27 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--deadline", type=float, default=None,
                    help="per-query latency budget (seconds)")
     p.set_defaults(fn=cmd_cluster_bench)
+
+    p = sub.add_parser(
+        "tune",
+        help="search the tuning space against the deterministic cost "
+             "model; save or verify tuned profiles",
+        parents=[common],
+    )
+    p.add_argument("--workload", default="all",
+                   help="tuning workload name, or 'all' (default)")
+    p.add_argument("--budget", type=int, default=32,
+                   help="UCB search rollouts per workload")
+    p.add_argument("--out", default=None, metavar="DIR",
+                   help="write tuned profiles into this directory "
+                        "(canonical JSON, one file per workload)")
+    p.add_argument("--trace", default=None, metavar="DIR",
+                   help="write per-workload search traces (JSON) here")
+    p.add_argument("--verify", default=None, metavar="DIR",
+                   help="regenerate every profile in DIR from its "
+                        "embedded seed/budget/space and fail unless "
+                        "byte-identical (exit 1 on mismatch)")
+    p.set_defaults(fn=cmd_tune)
 
     return parser
 

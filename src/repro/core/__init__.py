@@ -3,7 +3,7 @@
 from repro.core.compressed import CompressedTraversalScheduler
 from repro.core.engine import SageScheduler
 from repro.core.frontier import FrontierQueue
-from repro.core.hybrid import HybridStats, direction_optimized_bfs
+from repro.core.hybrid import HybridConfig, HybridStats, direction_optimized_bfs
 from repro.core.pipeline import RunResult, TraversalPipeline, run_app
 from repro.core.reorder import RoundOutcome, SamplingReorderer
 from repro.core.resident import ResidentTileStore
@@ -21,6 +21,7 @@ __all__ = [
     "CompressedTraversalScheduler",
     "DEFAULT_MIN_TILE",
     "FrontierQueue",
+    "HybridConfig",
     "HybridStats",
     "ReorderCommit",
     "ResidentTileStore",

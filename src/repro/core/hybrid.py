@@ -37,6 +37,24 @@ DEFAULT_BETA = 24.0
 
 
 @dataclass(frozen=True)
+class HybridConfig:
+    """The direction-switching thresholds, as one injectable value.
+
+    Every call site routes through this dataclass — the auto-tuner
+    (:mod:`repro.tune`) owns exactly one injection point, and
+    ``tests/tune/test_hybrid_config.py`` pins that no stray
+    ``alpha=``/``beta=`` literals bypass it inside the library.
+    """
+
+    alpha: float = DEFAULT_ALPHA
+    beta: float = DEFAULT_BETA
+
+    def __post_init__(self) -> None:
+        if self.alpha <= 0 or self.beta <= 0:
+            raise InvalidParameterError("alpha and beta must be positive")
+
+
+@dataclass(frozen=True)
 class HybridStats:
     """Direction decisions of one run."""
 
@@ -49,8 +67,9 @@ def direction_optimized_bfs(
     scheduler_factory,
     source: int,
     *,
-    alpha: float = DEFAULT_ALPHA,
-    beta: float = DEFAULT_BETA,
+    config: HybridConfig | None = None,
+    alpha: float | None = None,
+    beta: float | None = None,
     max_iterations: int = 100_000,
 ) -> tuple[RunResult, HybridStats]:
     """BFS with per-iteration push/pull direction selection.
@@ -61,7 +80,9 @@ def direction_optimized_bfs(
             :class:`~repro.core.scheduler.Scheduler`; separate instances
             drive the push (forward CSR) and pull (transpose) kernels.
         source: BFS root.
-        alpha, beta: Beamer switching thresholds.
+        config: Beamer switching thresholds (:class:`HybridConfig`).
+        alpha, beta: deprecated loose spellings of the thresholds; pass
+            ``config=HybridConfig(alpha=..., beta=...)`` instead.
 
     Returns:
         ``(RunResult, HybridStats)`` — the result's ``dist`` matches a
@@ -69,8 +90,23 @@ def direction_optimized_bfs(
     """
     if not 0 <= source < graph.num_nodes:
         raise InvalidParameterError(f"source {source} out of range")
-    if alpha <= 0 or beta <= 0:
-        raise InvalidParameterError("alpha and beta must be positive")
+    if alpha is not None or beta is not None:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "hybrid.alpha_beta",
+            "direction_optimized_bfs(..., alpha=, beta=) is deprecated; "
+            "pass config=HybridConfig(alpha=..., beta=...) instead",
+        )
+        base = config if config is not None else HybridConfig()
+        config = HybridConfig(
+            alpha=base.alpha if alpha is None else alpha,
+            beta=base.beta if beta is None else beta,
+        )
+    if config is None:
+        config = HybridConfig()
+    alpha_threshold = config.alpha
+    beta_threshold = config.beta
     reverse = graph.reversed()
     push_scheduler = scheduler_factory()
     pull_scheduler = scheduler_factory()
@@ -104,8 +140,8 @@ def direction_optimized_bfs(
         unvisited = np.flatnonzero(dist == UNVISITED)
         use_pull = (
             unvisited.size > 0
-            and frontier_edges > graph.num_edges / alpha
-            and unvisited.size > n / beta
+            and frontier_edges > graph.num_edges / alpha_threshold
+            and unvisited.size > n / beta_threshold
         )
         if use_pull:
             next_frontier, cost_edges = _pull_level(

@@ -136,6 +136,22 @@ API_COUNTERS: frozenset[str] = frozenset(
         "api.serve_sessions",
         "api.cluster_sessions",
         "api.bench_runs",
+        "api.tune_runs",
+        "api.profiles_applied",
+    }
+)
+
+#: Counters emitted by the self-tuning subsystem (``repro.tune``).
+TUNE_COUNTERS: frozenset[str] = frozenset(
+    {
+        "tune.searches",
+        "tune.rollouts",
+        "tune.evaluations",
+        "tune.eval_cache_hits",
+        "tune.profiles_saved",
+        "tune.profiles_loaded",
+        "tune.profiles_skipped",
+        "tune.profile_matches",
     }
 )
 
@@ -150,6 +166,7 @@ COUNTERS: frozenset[str] = (
     | SERVE_COUNTERS
     | CLUSTER_COUNTERS
     | API_COUNTERS
+    | TUNE_COUNTERS
 )
 
 #: Gauges emitted by single-run entry points (CLI / benchmarks).
@@ -188,8 +205,17 @@ CLUSTER_GAUGES: frozenset[str] = frozenset(
     }
 )
 
+#: Gauges emitted by the self-tuning subsystem (``repro.tune``).
+TUNE_GAUGES: frozenset[str] = frozenset(
+    {
+        "tune.best_speedup",
+    }
+)
+
 #: All statically-known gauge names.
-GAUGES: frozenset[str] = RUN_GAUGES | SERVE_GAUGES | CLUSTER_GAUGES
+GAUGES: frozenset[str] = (
+    RUN_GAUGES | SERVE_GAUGES | CLUSTER_GAUGES | TUNE_GAUGES
+)
 
 #: All statically-known span names.
 SPANS: frozenset[str] = frozenset(
@@ -203,6 +229,7 @@ SPANS: frozenset[str] = frozenset(
         "serve.batch",
         "serve.request",
         "cluster.run",
+        "tune.search",
     }
 )
 

@@ -114,6 +114,35 @@ class TestEmitSitesResolve:
         assert emitted["set_gauge"] == set(names.CLUSTER_GAUGES)
         assert emitted["span"] == cluster_spans
 
+    def test_tune_emits_exactly_the_registered_tune_names(self):
+        """The tuner's emit sites == the ``tune.*`` registry, per kind.
+
+        Same AST collection as the serve/cluster drift tests, scanned
+        across all of ``repro/tune``.
+        """
+        emitted: dict[str, set[str]] = {
+            "count": set(), "set_counter": set(),
+            "set_gauge": set(), "span": set(),
+        }
+        for path in sorted((SRC / "tune").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in emitted
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("tune.")
+                ):
+                    emitted[node.func.attr].add(node.args[0].value)
+        counters = emitted["count"] | emitted["set_counter"]
+        tune_spans = {s for s in names.SPANS if s.startswith("tune.")}
+        assert counters == set(names.TUNE_COUNTERS)
+        assert emitted["set_gauge"] == set(names.TUNE_GAUGES)
+        assert emitted["span"] == tune_spans
+
     def test_api_emits_exactly_the_registered_api_counters(self):
         """The facade's ``api.*`` literals == the canonical list."""
         tree = ast.parse((SRC / "api.py").read_text(encoding="utf-8"))
@@ -151,12 +180,16 @@ class TestRegistryStructure:
             | names.SERVE_COUNTERS
             | names.CLUSTER_COUNTERS
             | names.API_COUNTERS
+            | names.TUNE_COUNTERS
         )
         assert names.COUNTERS == union
 
     def test_gauges_is_the_union_of_subsystem_sets(self):
         assert names.GAUGES == (
-            names.RUN_GAUGES | names.SERVE_GAUGES | names.CLUSTER_GAUGES
+            names.RUN_GAUGES
+            | names.SERVE_GAUGES
+            | names.CLUSTER_GAUGES
+            | names.TUNE_GAUGES
         )
 
     def test_kinds_do_not_overlap(self):

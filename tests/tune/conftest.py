@@ -1,0 +1,39 @@
+"""Shared fixtures for the self-tuning test suite.
+
+The tuner's own bench workloads (1k-node graphs, 48 queries) are sized
+for the CI search job; tests use a *tiny* workload and a trimmed space
+so search-heavy tests stay in the tens of milliseconds while exercising
+the identical code paths.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.graph.generators import rmat
+from repro.tune import TuningSpace, TuningWorkload
+
+
+def _tiny_graph():
+    return rmat(7, edge_factor=4, seed=99)
+
+
+@pytest.fixture(scope="package")
+def tiny_workload() -> TuningWorkload:
+    return TuningWorkload(
+        name="tiny",
+        category="test",
+        graph_factory=_tiny_graph,
+        num_queries=12,
+        rate_qps=400.0,
+        hybrid_sources=(0, 5),
+    )
+
+
+@pytest.fixture(scope="package")
+def tiny_space() -> TuningSpace:
+    return TuningSpace((
+        ("batch_window", (0.02, 0.05, 0.1)),
+        ("max_batch_size", (16, 64)),
+        ("routing", ("round_robin", "affinity")),
+    ))
