@@ -66,6 +66,13 @@ SERVE_SPEEDUP_FLOOR = 2.0
 #: hot-key-skewed workload (acceptance floor, enforced every run).
 CLUSTER_SPEEDUP_FLOOR = 2.0
 
+#: The stream/event pipeline must cut replica *device* time at least
+#: this much versus the batch-at-a-time executor at equal offered load
+#: (device-seconds over stream-device busy-seconds; acceptance floor,
+#: enforced every run).  Responses must stay bit-identical — the gate
+#: only accepts overlap, never changed answers.
+PIPELINE_SPEEDUP_FLOOR = 1.3
+
 #: Committed tuned profiles must beat the default configuration by at
 #: least this factor (total simulated device seconds, SLO-feasible) on
 #: at least :data:`TUNED_MIN_CATEGORIES` graph categories.  Measured at
@@ -230,6 +237,91 @@ def _cluster_row(smoke: bool) -> dict:
     }
 
 
+def _pipeline_row(smoke: bool) -> dict:
+    """The ``pipeline_openloop`` tier: stream pipeline vs batch-at-a-time.
+
+    Both sides replay the *same* seeded sssp-heavy trace through one
+    replica (cache off, admission effectively unbounded, so batch
+    formation is identical); the pipelined side admits up to four
+    batches into a four-stream device.  Execution semantics never
+    change — every pipelined response is asserted bit-identical to the
+    batch run **and** to the :func:`repro.serve.run_direct` oracle —
+    so the gated ratio ``batch device-seconds / pipeline busy-seconds``
+    measures pure compute/transfer overlap on one device.
+    """
+    from repro.serve import (
+        AdmissionConfig,
+        PipelineConfig,
+        QueryStatus,
+        generate_queries,
+        open_loop_arrivals,
+        run_direct,
+        simulate_cluster_open_loop,
+    )
+
+    graph = _graph(smoke)
+    num_queries = 64 if smoke else 192
+    requests = generate_queries(
+        "bench", graph.num_nodes, num_queries, seed=13,
+        mix={"bfs": 0.3, "sssp": 0.6, "pr": 0.1},
+    )
+    # Arrival spacing must be comparable to per-batch *device* time
+    # (tens of microseconds on the smoke graph) or the device drains
+    # every batch before the next window flushes and the in-flight
+    # window never opens: rate 2e6 qps with a 10 us window keeps ~20
+    # queries per batch and several batches resident at once.
+    arrivals = open_loop_arrivals(num_queries, rate_qps=2e6, seed=13)
+    admission = AdmissionConfig(max_concurrency=10**6)
+    common = dict(
+        num_replicas=1, routing="affinity",
+        batch_window=1e-5, max_batch_size=64,
+        cache_capacity=0, admission=admission,
+    )
+    wall_start = time.perf_counter()
+    batch_responses, batch = simulate_cluster_open_loop(
+        {"bench": graph}, requests, arrivals, SageScheduler, **common,
+    )
+    pipe_responses, pipe = simulate_cluster_open_loop(
+        {"bench": graph}, requests, arrivals, SageScheduler,
+        pipeline=PipelineConfig(in_flight=4, num_streams=4,
+                                prefetch_depth=1),
+        **common,
+    )
+    wall = time.perf_counter() - wall_start
+    assert batch.status_counts == {"ok": num_queries}
+    assert pipe.status_counts == {"ok": num_queries}
+    # Identical batch formation => identical device work, to the bit.
+    assert pipe.sim_seconds_total == batch.sim_seconds_total
+    for request, a, b in zip(requests, batch_responses, pipe_responses):
+        assert a.status is QueryStatus.OK and b.status is QueryStatus.OK
+        assert set(a.result) == set(b.result), request.app
+        for key in a.result:
+            assert np.array_equal(a.result[key], b.result[key]), (
+                f"{request.app}:{key} diverged between batch and pipeline"
+            )
+        oracle = run_direct(graph, request, SageScheduler).result
+        assert set(b.result) == set(oracle), request.app
+        for key in oracle:
+            assert np.array_equal(b.result[key], oracle[key]), (
+                f"{request.app}:{key} diverged from the direct oracle"
+            )
+    speedup = (
+        batch.sim_seconds_total / pipe.pipeline_busy_seconds
+        if pipe.pipeline_busy_seconds > 0 else 1.0
+    )
+    return {
+        "simulated_seconds": pipe.pipeline_busy_seconds,
+        "pipeline_batch_device_seconds": batch.sim_seconds_total,
+        "pipeline_busy_seconds": pipe.pipeline_busy_seconds,
+        "pipeline_speedup_vs_batch": speedup,
+        "pipeline_overlap_saved_seconds":
+            pipe.pipeline_overlap_saved_seconds,
+        "pipeline_inflight_peak": float(pipe.pipeline_inflight_peak),
+        "pipeline_num_batches": float(pipe.num_batches),
+        "wall_seconds": wall,  # informational, never gated
+    }
+
+
 def _tuned_row() -> dict:
     """The ``tuned_vs_default`` tier: committed profiles vs defaults.
 
@@ -335,6 +427,13 @@ def run_suite(smoke: bool, sanitizer=None) -> dict:
           f"hit={cluster['cluster_cache_hit_ratio']:5.2f} "
           f"sim={cluster['simulated_seconds'] * 1e3:9.4f} ms "
           f"wall={cluster['wall_seconds']:6.2f} s")
+    pipeline = _pipeline_row(smoke)
+    rows["pipeline_openloop"] = pipeline
+    print(f"  {'pipeline_openloop':24s} "
+          f"speedup={pipeline['pipeline_speedup_vs_batch']:7.2f}x "
+          f"inflight={pipeline['pipeline_inflight_peak']:3.0f} "
+          f"sim={pipeline['simulated_seconds'] * 1e3:9.4f} ms "
+          f"wall={pipeline['wall_seconds']:6.2f} s")
     tuned = _tuned_row()
     rows["tuned_vs_default"] = tuned
     speedups = ", ".join(
@@ -447,6 +546,17 @@ def main(argv: list[str] | None = None) -> int:
             f"{cluster['cluster_speedup_vs_single_broker']:.2f}x < "
             f"{CLUSTER_SPEEDUP_FLOOR:.1f}x vs a single broker at equal "
             f"offered load",
+            file=sys.stderr,
+        )
+        return 1
+
+    pipeline = current["workloads"]["pipeline_openloop"]
+    if pipeline["pipeline_speedup_vs_batch"] < PIPELINE_SPEEDUP_FLOOR:
+        print(
+            f"pipeline tier below the speedup floor: "
+            f"{pipeline['pipeline_speedup_vs_batch']:.2f}x < "
+            f"{PIPELINE_SPEEDUP_FLOOR:.1f}x device time vs the "
+            f"batch-at-a-time executor at equal offered load",
             file=sys.stderr,
         )
         return 1

@@ -74,6 +74,7 @@ from repro.serve.cluster import (
     ClusterPool,
     simulate_cluster_open_loop,
 )
+from repro.serve.pipelined import PipelineConfig
 from repro.serve.loadgen import (
     ServeBenchReport,
     generate_queries,
@@ -460,6 +461,7 @@ def bench(
     routing: str = "affinity",
     cache_capacity: int = 1024,
     admission: AdmissionConfig | None = None,
+    pipeline: PipelineConfig | None = None,
     seed: int = 0,
     metrics: MetricsRegistry | None = None,
 ) -> ServeBenchReport | ClusterBenchReport:
@@ -469,8 +471,11 @@ def bench(
     broker and returns a :class:`ServeBenchReport`; ``replicas >= 1``
     benchmarks the cluster tier on the same seeded trace (baselined
     against the single broker) and returns a
-    :class:`ClusterBenchReport`.  Everything runs in virtual time, so
-    equal arguments always produce equal reports.
+    :class:`ClusterBenchReport`.  Pass a
+    :class:`~repro.serve.pipelined.PipelineConfig` to run replica
+    devices through the stream/event pipeline (responses stay
+    bit-identical; only device time changes).  Everything runs in
+    virtual time, so equal arguments always produce equal reports.
     """
     registry = metrics if metrics is not None else NULL_REGISTRY
     registry.count("api.bench_runs")
@@ -498,6 +503,7 @@ def bench(
         max_batch_size=max_batch_size,
         cache_capacity=cache_capacity,
         admission=admission,
+        pipeline=pipeline,
         single_broker_seconds=serve_report.sim_seconds_total,
         metrics=metrics,
     )

@@ -403,6 +403,7 @@ def cmd_serve_bench(args: argparse.Namespace) -> int:
 def cmd_cluster_bench(args: argparse.Namespace) -> int:
     from repro.serve import (
         AdmissionConfig,
+        PipelineConfig,
         generate_queries,
         open_loop_arrivals,
         sequential_baseline,
@@ -449,6 +450,11 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         burst=args.burst,
         max_concurrency=args.max_concurrency,
     )
+    pipeline = PipelineConfig(
+        in_flight=args.in_flight,
+        num_streams=args.streams,
+        prefetch_depth=args.prefetch_depth,
+    )
     _, report = simulate_cluster_open_loop(
         {"bench": graph}, requests, arrivals, scheduler_factory,
         num_replicas=args.replicas,
@@ -457,6 +463,7 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
         max_batch_size=args.max_batch_size,
         cache_capacity=args.cache_capacity,
         admission=admission,
+        pipeline=pipeline,
         single_broker_seconds=single.sim_seconds_total,
         metrics=metrics,
     )
@@ -481,6 +488,12 @@ def cmd_cluster_bench(args: argparse.Namespace) -> int:
     print(f"  device time       {report.sim_seconds_total:10.6f} s"
           f"   (single broker {report.single_broker_seconds:.6f} s)")
     print(f"  replica occupancy {report.replica_occupancy_mean:10.2f}")
+    if report.pipeline_enabled:
+        print(f"  pipeline busy     {report.pipeline_busy_seconds:10.6f} s"
+              f"   (overlap saved {report.pipeline_overlap_saved_seconds:.6f} s,"
+              f" peak in-flight {report.pipeline_inflight_peak})")
+        print(f"  device-time speedup vs serial "
+              f"{report.pipeline_speedup_vs_serial:5.2f}x")
     if report.single_broker_seconds > 0:
         print(f"  speedup vs single broker {report.speedup_vs_single_broker:5.2f}x")
     if args.emit_metrics:
@@ -560,6 +573,9 @@ def cmd_tune(args: argparse.Namespace) -> int:
             print(f"  alpha={point.alpha} beta={point.beta}"
                   f" min_tile={point.min_tile}"
                   f" max_concurrency={point.max_concurrency}")
+            print(f"  in_flight={point.in_flight}"
+                  f" num_streams={point.num_streams}"
+                  f" prefetch_depth={point.prefetch_depth}")
             if args.out is not None:
                 print(f"  profile written to "
                       f"{ProfileStore(args.out).path_for(name)}")
@@ -686,6 +702,13 @@ def build_parser() -> argparse.ArgumentParser:
                    help="app mix, e.g. bfs=0.5,sssp=0.4,pr=0.1")
     p.add_argument("--deadline", type=float, default=None,
                    help="per-query latency budget (seconds)")
+    p.add_argument("--in-flight", type=int, default=1,
+                   help="pipelined batches concurrently resident per "
+                        "replica device (1 = batch-at-a-time)")
+    p.add_argument("--streams", type=int, default=1,
+                   help="compute streams per replica device")
+    p.add_argument("--prefetch-depth", type=int, default=0,
+                   help="iterations of out-of-core prefetch lookahead")
     p.set_defaults(fn=cmd_cluster_bench)
 
     p = sub.add_parser(

@@ -28,6 +28,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.cost import KernelTiming
 from repro.gpusim.device import Device
 from repro.gpusim.profiler import Profiler
+from repro.gpusim.streams import KERNEL, TraceNode, kernel_occupancy
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
@@ -52,6 +53,9 @@ class RunResult:
     reorder_commits: int = 0
     final_perm: np.ndarray | None = None
     extras: dict[str, float] = field(default_factory=dict)
+    #: replayable device work (gpusim.streams.TraceNode), in issue order;
+    #: dag_from_run recompiles it into an event DAG for pipelining.
+    node_trace: list[TraceNode] = field(default_factory=list)
 
     @property
     def teps(self) -> float:
@@ -131,6 +135,7 @@ class TraversalPipeline:
             edges_traversed = 0
             iterations = 0
             commits = 0
+            node_trace: list[TraceNode] = []
 
             while not queue.empty:
                 if iterations >= self.max_iterations:
@@ -159,6 +164,12 @@ class TraversalPipeline:
                     timing = self._timed_kernel(
                         device, stats, "kernel", kind="expand-filter",
                     )
+                    node_trace.append(TraceNode(
+                        KERNEL,
+                        device.spec.cycles_to_seconds(timing.cycles),
+                        occupancy=kernel_occupancy(timing),
+                        iteration=iterations,
+                    ))
                     it_span.set("active_edges", int(edge_dst.size))
                     it_span.set("kernel_cycles", timing.cycles)
                     edges_traversed += int(edge_dst.size)
@@ -180,6 +191,12 @@ class TraversalPipeline:
                             device, commit.update_stats,
                             "kernel", kind="reorder-update",
                         )
+                        node_trace.append(TraceNode(
+                            KERNEL,
+                            device.spec.cycles_to_seconds(update.cycles),
+                            occupancy=kernel_occupancy(update),
+                            iteration=iterations - 1,
+                        ))
                         it_span.set("reorder_cycles", update.cycles)
                         graph = graph.permute(commit.perm)
                         app.graph = graph
@@ -233,6 +250,7 @@ class TraversalPipeline:
             profiler=device.profiler,
             reorder_commits=commits,
             final_perm=total_perm,
+            node_trace=node_trace,
         )
 
 

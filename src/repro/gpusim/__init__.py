@@ -24,13 +24,35 @@ from repro.gpusim.memory import (
 )
 from repro.gpusim.profiler import Profiler
 from repro.gpusim.spec import NVLINK2, PCIE3_X16, CPUSpec, GPUSpec, LinkSpec
+from repro.gpusim.streams import (
+    D2H,
+    H2D,
+    HOST,
+    KERNEL,
+    BatchDag,
+    DagCompletion,
+    DagNode,
+    StreamDevice,
+    TraceNode,
+    dag_from_run,
+    kernel_occupancy,
+)
 from repro.gpusim.trace import CacheTraceReport, replay_cache_trace
 
 __all__ = [
+    "BatchDag",
     "CPUSpec",
     "CacheTraceReport",
+    "D2H",
+    "DagCompletion",
+    "DagNode",
     "Device",
     "GPUSpec",
+    "H2D",
+    "HOST",
+    "KERNEL",
+    "StreamDevice",
+    "TraceNode",
     "KernelCostModel",
     "KernelStats",
     "KernelTiming",
@@ -44,9 +66,11 @@ __all__ = [
     "Profiler",
     "block_placement",
     "coalesced_sectors",
+    "dag_from_run",
     "distinct_sectors",
     "estimate_dram_sectors",
     "even_placement",
+    "kernel_occupancy",
     "replay_cache_trace",
     "sector_ids",
     "segmented_distinct_sectors",

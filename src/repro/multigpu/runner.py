@@ -27,6 +27,7 @@ from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.gpusim.profiler import Profiler
 from repro.gpusim.spec import LinkSpec, NVLINK2
+from repro.gpusim.streams import KERNEL, TraceNode, kernel_occupancy
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
 #: bulk-synchronous barrier cost per iteration (all-device sync).
@@ -94,6 +95,7 @@ class MultiGpuRunner:
         edges_traversed = 0
         messages = 0
         iterations = 0
+        node_trace: list[TraceNode] = []
         run_span = metrics.span(
             "multigpu.run", runner=self.name, app=app.name,
             num_gpus=self.num_gpus, async_mode=self.async_mode,
@@ -107,6 +109,7 @@ class MultiGpuRunner:
                 frontier = queue.current
                 owners = self.assignment[frontier]
                 gpu_seconds = np.zeros(self.num_gpus)
+                gpu_timings = []
                 all_src: list[np.ndarray] = []
                 all_dst: list[np.ndarray] = []
                 all_pos: list[np.ndarray] = []
@@ -136,6 +139,7 @@ class MultiGpuRunner:
                         gpu_seconds[gpu] = spec.cycles_to_seconds(
                             timing.cycles
                         )
+                        gpu_timings.append(timing)
                         remote = edge_dst[self.assignment[edge_dst] != gpu]
                         # Engines aggregate frontier updates per node
                         # before shipping: a remote node is announced
@@ -169,6 +173,19 @@ class MultiGpuRunner:
                         )
                     it_span.set("exchange_seconds", exchange)
                     it_span.set("remote_updates", remote_updates)
+                    # With one device the iteration is exactly one kernel,
+                    # so the trace can carry its honest occupancy; the
+                    # multi-device makespan (kernels + exchange + barrier)
+                    # is opaque to overlap and pinned at full occupancy.
+                    occupancy = (
+                        kernel_occupancy(gpu_timings[0])
+                        if self.num_gpus == 1 and len(gpu_timings) == 1
+                        else 1.0
+                    )
+                    node_trace.append(TraceNode(
+                        KERNEL, iter_seconds, occupancy=occupancy,
+                        iteration=iterations,
+                    ))
                     seconds += iter_seconds
                     comm_seconds += exchange
                     messages += remote_updates
@@ -202,6 +219,7 @@ class MultiGpuRunner:
             edges_traversed=edges_traversed,
             result=app.result(),
             profiler=profiler,
+            node_trace=node_trace,
         )
         result.extras["comm_seconds"] = comm_seconds
         result.extras["messages"] = float(messages)

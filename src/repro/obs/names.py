@@ -49,6 +49,26 @@ PIPELINE_COUNTERS: frozenset[str] = frozenset(
     }
 )
 
+#: Counters emitted by the pipelined executor (``repro.serve.pipelined``):
+#: per-batch DAG compilation and in-flight window bookkeeping.
+PIPELINE_EXEC_COUNTERS: frozenset[str] = frozenset(
+    {
+        "pipeline.batches",
+        "pipeline.queued_batches",
+    }
+)
+
+#: Counters emitted by the stream/event scheduler layer
+#: (``repro.serve.pipelined`` admitting ``repro.gpusim.streams`` DAGs):
+#: node population of every compiled batch DAG.
+STREAM_COUNTERS: frozenset[str] = frozenset(
+    {
+        "stream.kernel_nodes",
+        "stream.transfer_nodes",
+        "stream.host_nodes",
+    }
+)
+
 #: Counters emitted by sampling-based reordering (``repro.core.reorder``).
 REORDER_COUNTERS: frozenset[str] = frozenset(
     {
@@ -159,6 +179,8 @@ TUNE_COUNTERS: frozenset[str] = frozenset(
 COUNTERS: frozenset[str] = (
     SAGE_COUNTERS
     | PIPELINE_COUNTERS
+    | PIPELINE_EXEC_COUNTERS
+    | STREAM_COUNTERS
     | REORDER_COUNTERS
     | OOC_COUNTERS
     | MULTIGPU_COUNTERS
@@ -212,9 +234,20 @@ TUNE_GAUGES: frozenset[str] = frozenset(
     }
 )
 
+#: Gauges mirroring a pipelined cluster run's stream-device outcome
+#: (``repro.serve.cluster.publish_cluster_gauges``).
+PIPELINE_GAUGES: frozenset[str] = frozenset(
+    {
+        "pipeline.busy_seconds",
+        "pipeline.overlap_saved_seconds",
+        "pipeline.inflight_peak",
+        "pipeline.speedup_vs_serial",
+    }
+)
+
 #: All statically-known gauge names.
 GAUGES: frozenset[str] = (
-    RUN_GAUGES | SERVE_GAUGES | CLUSTER_GAUGES | TUNE_GAUGES
+    RUN_GAUGES | SERVE_GAUGES | CLUSTER_GAUGES | TUNE_GAUGES | PIPELINE_GAUGES
 )
 
 #: All statically-known span names.
@@ -230,6 +263,7 @@ SPANS: frozenset[str] = frozenset(
         "serve.request",
         "cluster.run",
         "tune.search",
+        "pipeline.batch",
     }
 )
 

@@ -38,6 +38,7 @@ from repro.errors import ConvergenceError, InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.gpusim.device import Device
 from repro.gpusim.spec import GPUSpec, LinkSpec, PCIE3_X16
+from repro.gpusim.streams import H2D, HOST, KERNEL, TraceNode, kernel_occupancy
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.outofcore.layout import GraphLayout, layout_for
 from repro.outofcore.pool import SectorPool, contiguous_runs
@@ -112,6 +113,7 @@ class _OutOfCoreBase:
             seconds = 0.0
             edges_traversed = 0
             iterations = 0
+            node_trace: list[TraceNode] = []
             self.transfer_seconds_total = 0.0
             self.bytes_transferred = 0
             self.requests_issued = 0
@@ -143,16 +145,21 @@ class _OutOfCoreBase:
                         # timing is merged with transfer overlap), so
                         # audit the batch stats explicitly.
                         sanitizer.check_kernel_stats(stats, device.spec)
+                    timing = device.cost_model.time_kernel(stats)
                     kernel_seconds = device.spec.cycles_to_seconds(
-                        device.cost_model.time_kernel(stats).cycles
+                        timing.cycles
                     )
                     bytes_before = self.bytes_transferred
                     transfer_before = self.transfer_seconds_total
                     iter_seconds = self._iteration_seconds(
                         kernel_seconds, frontier, edge_dst, edge_pos, layout
                     )
-                    device.profiler.record(
-                        stats, device.cost_model.time_kernel(stats)
+                    device.profiler.record(stats, timing)
+                    self._trace_iteration(
+                        node_trace, kernel_seconds,
+                        self.transfer_seconds_total - transfer_before,
+                        iter_seconds, iterations,
+                        kernel_occupancy(timing),
                     )
                     it_span.set("kernel_seconds", kernel_seconds)
                     it_span.set("iteration_seconds", iter_seconds)
@@ -189,6 +196,7 @@ class _OutOfCoreBase:
             edges_traversed=edges_traversed,
             result=app.result(),
             profiler=device.profiler,
+            node_trace=node_trace,
         )
         result.extras["transfer_seconds"] = self.transfer_seconds_total
         result.extras["bytes_transferred"] = float(self.bytes_transferred)
@@ -208,6 +216,24 @@ class _OutOfCoreBase:
         edge_pos: np.ndarray,
         layout: GraphLayout,
     ) -> float:
+        raise NotImplementedError
+
+    def _trace_iteration(
+        self,
+        trace: list[TraceNode],
+        kernel_seconds: float,
+        transfer_seconds: float,
+        iter_seconds: float,
+        iteration: int,
+        occupancy: float,
+    ) -> None:
+        """Append this iteration's replayable nodes to ``trace``.
+
+        Each runner mirrors its own ``_iteration_seconds`` shape so a
+        lone DAG replay reproduces the synchronous timeline exactly;
+        group keys are spaced by 2 to leave room for a serial tail
+        group (Subway's extraction scan).
+        """
         raise NotImplementedError
 
 
@@ -251,6 +277,29 @@ class SubwayRunner(_OutOfCoreBase):
         self.requests_issued += 1
         # Asynchronous preloading overlaps the transfer with compute.
         return max(kernel_seconds, transfer) + extract
+
+    def _trace_iteration(
+        self,
+        trace: list[TraceNode],
+        kernel_seconds: float,
+        transfer_seconds: float,
+        iter_seconds: float,
+        iteration: int,
+        occupancy: float,
+    ) -> None:
+        # max(kernel, transfer) as one barrier group, then the host-side
+        # extraction scan as a serial tail group of its own.
+        trace.append(TraceNode(
+            KERNEL, kernel_seconds, occupancy=occupancy,
+            iteration=2 * iteration,
+        ))
+        trace.append(TraceNode(
+            H2D, transfer_seconds, iteration=2 * iteration, overlap=True,
+        ))
+        extract = iter_seconds - max(kernel_seconds, transfer_seconds)
+        trace.append(TraceNode(
+            HOST, max(0.0, extract), iteration=2 * iteration + 1,
+        ))
 
 
 class SageOutOfCoreRunner(_OutOfCoreBase):
@@ -312,6 +361,25 @@ class SageOutOfCoreRunner(_OutOfCoreBase):
         # ...and overlaps fetches with compute on already-resident tiles.
         return max(kernel_seconds, transfer)
 
+    def _trace_iteration(
+        self,
+        trace: list[TraceNode],
+        kernel_seconds: float,
+        transfer_seconds: float,
+        iter_seconds: float,
+        iteration: int,
+        occupancy: float,
+    ) -> None:
+        # Kernel and fetch overlap inside the iteration barrier:
+        # the group's makespan is max(kernel, transfer).
+        trace.append(TraceNode(
+            KERNEL, kernel_seconds, occupancy=occupancy,
+            iteration=2 * iteration,
+        ))
+        trace.append(TraceNode(
+            H2D, transfer_seconds, iteration=2 * iteration, overlap=True,
+        ))
+
 
 class OnDemandUMRunner(SageOutOfCoreRunner):
     """Naive unified-memory paging: page-granular faults, no overlap.
@@ -359,3 +427,22 @@ class OnDemandUMRunner(SageOutOfCoreRunner):
         self.requests_issued += requests
         # Page faults stall the kernel: no overlap.
         return kernel_seconds + transfer
+
+    def _trace_iteration(
+        self,
+        trace: list[TraceNode],
+        kernel_seconds: float,
+        transfer_seconds: float,
+        iter_seconds: float,
+        iteration: int,
+        occupancy: float,
+    ) -> None:
+        # Faults stall the kernel, so the transfer extends the serial
+        # chain instead of overlapping it.
+        trace.append(TraceNode(
+            KERNEL, kernel_seconds, occupancy=occupancy,
+            iteration=2 * iteration,
+        ))
+        trace.append(TraceNode(
+            H2D, transfer_seconds, iteration=2 * iteration,
+        ))

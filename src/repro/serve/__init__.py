@@ -38,10 +38,14 @@ from repro.serve.cache import (
     result_cache_key,
 )
 from repro.serve.cluster import (
+    EVENT_COMPLETION,
+    EVENT_FLUSH,
+    EVENT_UPDATE,
     ROUTING_POLICIES,
     ClusterBenchReport,
     ClusterPool,
     Router,
+    event_order,
     publish_cluster_gauges,
     simulate_cluster_open_loop,
 )
@@ -50,6 +54,12 @@ from repro.serve.executor import (
     BatchExecutor,
     make_single_app,
     run_direct,
+)
+from repro.serve.pipelined import (
+    PipelineConfig,
+    PipelinedBatch,
+    PipelinedExecutor,
+    ReplicaPipeline,
 )
 from repro.serve.loadgen import (
     DEFAULT_MIX,
@@ -85,20 +95,28 @@ __all__ = [
     "ClusterPool",
     "DEFAULT_MIX",
     "DEFAULT_PARAMS",
+    "EVENT_COMPLETION",
+    "EVENT_FLUSH",
+    "EVENT_UPDATE",
     "GraphStore",
     "MicroBatcher",
     "PendingQuery",
+    "PipelineConfig",
+    "PipelinedBatch",
+    "PipelinedExecutor",
     "QueryBroker",
     "QueryRequest",
     "QueryResponse",
     "QueryStatus",
     "ROUTING_POLICIES",
+    "ReplicaPipeline",
     "ResultCache",
     "Router",
     "SERVE_APPS",
     "ServeBenchReport",
     "TokenBucket",
     "batch_key",
+    "event_order",
     "generate_queries",
     "graph_fingerprint",
     "make_single_app",

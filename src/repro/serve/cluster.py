@@ -54,10 +54,37 @@ from repro.serve.broker import PendingQuery, QueryBroker
 from repro.serve.cache import CacheKey, GraphStore, ResultCache, result_cache_key
 from repro.serve.executor import BatchExecutor
 from repro.serve.loadgen import _percentiles
+from repro.serve.pipelined import (
+    PipelineConfig,
+    PipelinedExecutor,
+    ReplicaPipeline,
+)
 from repro.serve.request import QueryRequest, QueryResponse, QueryStatus
 
 #: Replica-selection policies understood by :class:`Router`.
 ROUTING_POLICIES = ("round_robin", "least_outstanding", "affinity")
+
+# ----------------------------------------------------------------------
+# Event-ordering contract of the virtual-time loop
+# ----------------------------------------------------------------------
+# When several events fall due at the same virtual instant, the loop
+# plays them in a pinned order: batch *completions* land their results
+# (and fill the cache) first, then graph *updates* bump epochs and purge
+# stale entries, then window *flushes* dispatch new batches — so a batch
+# dispatched at time t always executes against every update due at t,
+# and a completion never caches under an epoch bumped at the same
+# instant.  The regression test in tests/serve/ pins these constants;
+# new event sources (e.g. pipeline device events) must pick one of them
+# rather than invent an ordering.
+EVENT_COMPLETION = 0
+EVENT_UPDATE = 1
+EVENT_FLUSH = 2
+
+
+def event_order(when: float, kind: int) -> tuple[float, int]:
+    """Total order for simulator events: time first, then the pinned
+    tie-break ``EVENT_COMPLETION < EVENT_UPDATE < EVENT_FLUSH``."""
+    return (float(when), int(kind))
 
 
 class Router:
@@ -122,6 +149,10 @@ class ClusterBenchReport:
     latency_p95: float
     latency_p99: float
     status_counts: dict[str, int] = field(default_factory=dict)
+    pipeline_enabled: bool = False
+    pipeline_busy_seconds: float = 0.0
+    pipeline_overlap_saved_seconds: float = 0.0
+    pipeline_inflight_peak: int = 0
 
     @property
     def cache_hit_ratio(self) -> float:
@@ -144,6 +175,19 @@ class ClusterBenchReport:
             s / self.makespan_seconds for s in self.per_replica_sim_seconds
         ]
         return float(np.mean(busy))
+
+    @property
+    def pipeline_speedup_vs_serial(self) -> float:
+        """Device-time ratio: serial work submitted ÷ busy device time.
+
+        ``sim_seconds_total`` is the work the batches would occupy a
+        batch-at-a-time device for; ``pipeline_busy_seconds`` is how
+        long the stream devices were actually busy.  >= 1.0 by the
+        work-conserving schedule; 0.0 when pipelining is off.
+        """
+        if not self.pipeline_enabled or self.pipeline_busy_seconds <= 0:
+            return 0.0
+        return self.sim_seconds_total / self.pipeline_busy_seconds
 
     @property
     def speedup_vs_single_broker(self) -> float:
@@ -186,6 +230,12 @@ class ClusterBenchReport:
             "latency_p95": self.latency_p95,
             "latency_p99": self.latency_p99,
             "status_counts": dict(self.status_counts),
+            "pipeline_enabled": self.pipeline_enabled,
+            "pipeline_busy_seconds": self.pipeline_busy_seconds,
+            "pipeline_overlap_saved_seconds":
+                self.pipeline_overlap_saved_seconds,
+            "pipeline_inflight_peak": self.pipeline_inflight_peak,
+            "pipeline_speedup_vs_serial": self.pipeline_speedup_vs_serial,
         }
 
 
@@ -208,6 +258,20 @@ def publish_cluster_gauges(
     metrics.set_gauge(
         "cluster.speedup_vs_single_broker", report.speedup_vs_single_broker
     )
+    if report.pipeline_enabled:
+        metrics.set_gauge(
+            "pipeline.busy_seconds", report.pipeline_busy_seconds
+        )
+        metrics.set_gauge(
+            "pipeline.overlap_saved_seconds",
+            report.pipeline_overlap_saved_seconds,
+        )
+        metrics.set_gauge(
+            "pipeline.inflight_peak", float(report.pipeline_inflight_peak)
+        )
+        metrics.set_gauge(
+            "pipeline.speedup_vs_serial", report.pipeline_speedup_vs_serial
+        )
 
 
 # ----------------------------------------------------------------------
@@ -248,6 +312,18 @@ class _Completion:
     share: float
 
 
+def _busy_total(pipes: list[ReplicaPipeline], sim_total: float) -> float:
+    """Summed device busy time, clamped to the serial device total.
+
+    Busy time is a union of intervals whose endpoints accumulate node
+    durations in a different order than the per-batch totals, so it can
+    exceed ``sim_total`` by a few ulps even though busy <= work holds
+    exactly in real arithmetic.  Clamp the noise: it would otherwise
+    leak a speedup fractionally below 1.0 out of a run with no overlap.
+    """
+    return min(sum(p.device.busy_seconds for p in pipes), sim_total)
+
+
 def simulate_cluster_open_loop(
     graphs: Mapping[str, CSRGraph | DynamicGraph] | GraphStore,
     requests: list[QueryRequest],
@@ -264,6 +340,7 @@ def simulate_cluster_open_loop(
     updates: list[tuple[float, str, Any, Any]] | None = None,
     executor: BatchExecutor | None = None,
     single_broker_seconds: float = 0.0,
+    pipeline: PipelineConfig | None = None,
     metrics: MetricsRegistry | None = None,
 ) -> tuple[list[QueryResponse], ClusterBenchReport]:
     """Deterministic virtual-time replay of the clustered service.
@@ -283,6 +360,17 @@ def simulate_cluster_open_loop(
     newer epoch.  ``single_broker_seconds`` (total sim-device seconds of
     :func:`~repro.serve.loadgen.simulate_open_loop` over the same trace)
     feeds the report's speedup; pass 0.0 to skip the comparison.
+
+    ``pipeline`` (a :class:`~repro.serve.pipelined.PipelineConfig` with
+    any knob off its synchronous default) switches each replica from
+    batch-at-a-time execution to a stream device with an in-flight
+    admission window.  Responses are bit-identical either way — batches
+    still form, snapshot, and execute identically at dispatch time; only
+    the virtual timeline of the device changes.  One semantic nuance:
+    with pipelining on, the pre-execution deadline check uses the
+    batch's flush time (the device-start instant is not known until
+    admission), so queueing delay surfaces as a post-execution timeout
+    instead.
     """
     if num_replicas < 1:
         raise InvalidParameterError("num_replicas must be >= 1")
@@ -303,7 +391,23 @@ def simulate_cluster_open_loop(
     cache = ResultCache(cache_capacity, metrics=registry)
     controller = AdmissionController(admission, metrics=registry)
     router = Router(routing, num_replicas)
-    executor = executor or BatchExecutor(scheduler_factory)
+    pipelined = pipeline is not None and pipeline.enabled
+    if pipelined:
+        if executor is None:
+            executor = PipelinedExecutor(
+                scheduler_factory, metrics=registry, config=pipeline
+            )
+        elif not isinstance(executor, PipelinedExecutor):
+            raise InvalidParameterError(
+                "pipeline= needs a PipelinedExecutor (or executor=None)"
+            )
+        pipes = [
+            ReplicaPipeline(pipeline, metrics=registry)
+            for _ in range(num_replicas)
+        ]
+    else:
+        executor = executor or BatchExecutor(scheduler_factory)
+        pipes = []
 
     pending_updates = sorted(
         updates or [], key=lambda u: float(u[0])
@@ -314,6 +418,7 @@ def simulate_cluster_open_loop(
     responses: dict[int, QueryResponse] = {}
     open_batches: dict[tuple[int, BatchKey], _OpenBatch] = {}
     completions: list[tuple[float, int, _Completion]] = []
+    pipeline_pending: dict[tuple[int, int], _Completion] = {}
     seq = itertools.count()
     replica_free = np.zeros(num_replicas, dtype=np.float64)
     per_replica_sim = [0.0] * num_replicas
@@ -345,7 +450,13 @@ def simulate_cluster_open_loop(
     def dispatch(batch: _OpenBatch, ready: float) -> None:
         nonlocal sim_total, next_batch_id
         replica = batch.replica
-        start = max(ready, float(replica_free[replica]))
+        # With pipelining the device-start instant is unknown until the
+        # window admits the batch; the pre-execution check then uses the
+        # flush time and queueing delay is caught post-execution.
+        start = (
+            ready if pipelined
+            else max(ready, float(replica_free[replica]))
+        )
         batch_id = next_batch_id
         next_batch_id += 1
         live = []
@@ -362,6 +473,28 @@ def simulate_cluster_open_loop(
         graph = store.graph(handle)
         epoch = store.epoch(handle)
         fingerprint = store.fingerprint(handle)
+        if pipelined:
+            assert isinstance(executor, PipelinedExecutor)
+            compiled = executor.compile(
+                graph, [m.request for m in live]
+            )
+            execution = compiled.execution
+            per_replica_sim[replica] += execution.sim_seconds
+            sim_total += execution.sim_seconds
+            batch_sizes.append(len(live))
+            local = pipes[replica].submit(compiled.dag, ready)
+            pipeline_pending[(replica, local)] = _Completion(
+                finish=0.0,
+                members=live,
+                results=execution.results,
+                cache_keys=[
+                    result_cache_key(m.request, epoch, fingerprint)
+                    for m in live
+                ],
+                batch_id=batch_id,
+                share=execution.sim_seconds / len(live),
+            )
+            return
         execution = executor.execute(graph, [m.request for m in live])
         finish = start + execution.sim_seconds
         replica_free[replica] = finish
@@ -420,31 +553,58 @@ def simulate_cluster_open_loop(
         graph_updates += 1
 
     def advance(limit: float) -> None:
-        """Play every due event ≤ ``limit`` in virtual-time order."""
+        """Play every due event ≤ ``limit`` in virtual-time order.
+
+        Simultaneous events follow :func:`event_order`: completions,
+        then updates, then flushes (the pinned tie-break contract).
+        """
         nonlocal update_ptr
         while True:
             candidates: list[tuple[float, int]] = []
-            if completions:
-                candidates.append((completions[0][0], 0))
-            if update_ptr < len(pending_updates):
+            if pipelined:
+                due = [
+                    t for t in (p.next_event_time() for p in pipes)
+                    if t is not None
+                ]
+                if due:
+                    candidates.append(
+                        event_order(min(due), EVENT_COMPLETION)
+                    )
+            elif completions:
                 candidates.append(
-                    (float(pending_updates[update_ptr][0]), 1)
+                    event_order(completions[0][0], EVENT_COMPLETION)
                 )
+            if update_ptr < len(pending_updates):
+                candidates.append(event_order(
+                    float(pending_updates[update_ptr][0]), EVENT_UPDATE
+                ))
             if open_batches:
                 flush = min(
                     open_batches.values(),
                     key=lambda b: (b.close_time, b.replica, repr(b.key)),
                 )
-                candidates.append((flush.close_time, 2))
+                candidates.append(
+                    event_order(flush.close_time, EVENT_FLUSH)
+                )
             if not candidates:
                 return
             when, kind = min(candidates)
             if when > limit:
                 return
-            if kind == 0:
-                _, _, done = heapq.heappop(completions)
-                complete(done)
-            elif kind == 1:
+            if kind == EVENT_COMPLETION:
+                if pipelined:
+                    for replica, pipe in enumerate(pipes):
+                        next_time = pipe.next_event_time()
+                        if next_time is None or next_time > when:
+                            continue
+                        for local, finish in pipe.advance_to(when):
+                            done = pipeline_pending.pop((replica, local))
+                            done.finish = finish
+                            complete(done)
+                else:
+                    _, _, done = heapq.heappop(completions)
+                    complete(done)
+            elif kind == EVENT_UPDATE:
                 apply_update(pending_updates[update_ptr])
                 update_ptr += 1
             else:
@@ -538,6 +698,11 @@ def simulate_cluster_open_loop(
         run_span.set("batches", len(batch_sizes))
         run_span.set("cache_hits", cache.hits)
         run_span.set("sim_seconds_total", sim_total)
+        if pipelined:
+            run_span.set(
+                "pipeline_busy_seconds",
+                _busy_total(pipes, sim_total),
+            )
 
     ordered = [responses[i] for i in range(len(requests))]
     makespan = max(
@@ -574,6 +739,18 @@ def simulate_cluster_open_loop(
         latency_p95=p95,
         latency_p99=p99,
         status_counts=counts,
+        pipeline_enabled=pipelined,
+        pipeline_busy_seconds=(
+            _busy_total(pipes, sim_total) if pipelined else 0.0
+        ),
+        pipeline_overlap_saved_seconds=(
+            sum(p.device.overlap_saved_seconds for p in pipes)
+            if pipelined else 0.0
+        ),
+        pipeline_inflight_peak=(
+            max((p.inflight_peak for p in pipes), default=0)
+            if pipelined else 0
+        ),
     )
     if metrics is not None:
         publish_cluster_gauges(metrics, report)

@@ -80,6 +80,12 @@ class BatchExecution:
     fresh dict with copied arrays so responses never alias each other.
     ``sim_seconds`` is the total simulated device time of the batch (the
     worker executes its internal runs serially).
+
+    The order of ``runs`` is part of the contract: the pipelined
+    executor replays run ``i`` as lane ``i`` of the batch's stream DAG,
+    so two executions of the same batch must list their runs in the
+    same order (they do — every ``_execute_*`` path iterates sources
+    in sorted order).
     """
 
     results: list[dict[str, np.ndarray]]
@@ -89,6 +95,17 @@ class BatchExecution:
     @property
     def num_runs(self) -> int:
         return len(self.runs)
+
+    @property
+    def traced(self) -> bool:
+        """Whether every internal run recorded a device node trace.
+
+        A run without a ``node_trace`` would compile to an *empty* DAG
+        lane — zero device time — silently deflating the pipelined
+        timeline, so ``PipelinedExecutor.compile`` refuses untraced
+        executions instead of guessing.
+        """
+        return all(run.node_trace for run in self.runs)
 
 
 class BatchExecutor:

@@ -1,0 +1,216 @@
+"""Pipelined batch execution: overlap batches on one simulated device.
+
+:class:`PipelinedExecutor` extends :class:`~repro.serve.executor
+.BatchExecutor` with a *compile* step: the batch still executes through
+the inherited (bit-identical) functional path, but the per-run device
+timelines recorded in ``RunResult.node_trace`` are recompiled into one
+:class:`~repro.gpusim.streams.BatchDag` per batch.  A
+:class:`ReplicaPipeline` then admits up to ``in_flight`` such DAGs into
+one :class:`~repro.gpusim.streams.StreamDevice`, so independent nodes
+from *different* batches interleave — kernels co-run under honest
+occupancy sharing, transfers ride the copy engines beside another
+batch's compute, and out-of-core prefetch is issued ``prefetch_depth``
+iterations early.
+
+Only virtual time moves: results are produced by the inherited executor
+before any DAG is scheduled, so pipelined responses are bit-identical to
+the batch-at-a-time executor (and therefore to the ``run_direct``
+oracle) by construction.  The differential tests in ``tests/serve/``
+pin this.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.scheduler import Scheduler
+from repro.errors import InvalidParameterError, SimulationError
+from repro.graph.csr import CSRGraph
+from repro.gpusim.streams import (
+    H2D,
+    HOST,
+    KERNEL,
+    BatchDag,
+    StreamDevice,
+    dag_from_run,
+)
+from repro.obs import MetricsRegistry
+from repro.serve.executor import BatchExecution, BatchExecutor
+from repro.serve.request import QueryRequest
+
+
+@dataclass(frozen=True)
+class PipelineConfig:
+    """Knobs of the stream/event pipeline (defaults = synchronous).
+
+    Attributes:
+        in_flight: batches concurrently admitted per replica device; 1
+            reproduces the batch-at-a-time executor timeline exactly.
+        num_streams: compute launch queues per device; runs mapped to
+            the same stream serialize, distinct streams co-run subject
+            to occupancy.
+        prefetch_depth: how many iterations early an out-of-core
+            transfer is issued (see
+            :func:`~repro.gpusim.streams.dag_from_run`).
+    """
+
+    in_flight: int = 1
+    num_streams: int = 1
+    prefetch_depth: int = 0
+
+    def __post_init__(self) -> None:
+        if self.in_flight < 1:
+            raise InvalidParameterError("in_flight must be >= 1")
+        if self.num_streams < 1:
+            raise InvalidParameterError("num_streams must be >= 1")
+        if self.prefetch_depth < 0:
+            raise InvalidParameterError("prefetch_depth must be >= 0")
+
+    @property
+    def enabled(self) -> bool:
+        """Whether any knob departs from synchronous behaviour."""
+        return (
+            self.in_flight > 1
+            or self.num_streams > 1
+            or self.prefetch_depth > 0
+        )
+
+
+@dataclass
+class PipelinedBatch:
+    """One compiled batch: its (already-final) results plus its DAG."""
+
+    execution: BatchExecution
+    dag: BatchDag
+
+
+class PipelinedExecutor(BatchExecutor):
+    """Batch executor that also compiles each batch to an event DAG."""
+
+    def __init__(
+        self,
+        scheduler_factory: Callable[[], Scheduler],
+        *,
+        num_gpus: int = 1,
+        metrics: MetricsRegistry | None = None,
+        config: PipelineConfig | None = None,
+    ) -> None:
+        super().__init__(scheduler_factory, num_gpus=num_gpus,
+                         metrics=metrics)
+        self.config = config or PipelineConfig()
+
+    def compile(
+        self, graph: CSRGraph, requests: list[QueryRequest]
+    ) -> PipelinedBatch:
+        """Execute one batch and compile its device timeline to a DAG.
+
+        Each internal run becomes one lane (its own dependency chain),
+        so runs of the same batch can themselves overlap when the
+        device has streams to spare.
+        """
+        with self.metrics.span(
+            "pipeline.batch", queries=len(requests),
+        ) as span:
+            execution = self.execute(graph, requests)
+            if not execution.traced:
+                raise SimulationError(
+                    "batch has a run without a node trace; its DAG "
+                    "lane would carry zero device time"
+                )
+            dag = BatchDag()
+            for lane, run in enumerate(execution.runs):
+                dag_from_run(
+                    run, dag=dag, lane=lane,
+                    prefetch_depth=self.config.prefetch_depth,
+                )
+            span.set("nodes", dag.num_nodes)
+            span.set("lanes", dag.num_lanes)
+            span.set("total_seconds", dag.total_seconds)
+        self.metrics.count("pipeline.batches")
+        kinds = {KERNEL: 0, H2D: 0, HOST: 0}
+        for node in dag.nodes:
+            kinds[node.kind] = kinds.get(node.kind, 0) + 1
+        self.metrics.count("stream.kernel_nodes", kinds.get(KERNEL, 0))
+        self.metrics.count(
+            "stream.transfer_nodes",
+            dag.num_nodes - kinds.get(KERNEL, 0) - kinds.get(HOST, 0),
+        )
+        self.metrics.count("stream.host_nodes", kinds.get(HOST, 0))
+        return PipelinedBatch(execution=execution, dag=dag)
+
+
+class ReplicaPipeline:
+    """In-flight admission window in front of one stream device.
+
+    At most ``config.in_flight`` batch DAGs are resident on the device;
+    further submissions queue FIFO and are admitted the moment a
+    resident batch completes, released no earlier than their own ready
+    time.  All bookkeeping is in virtual time and fully deterministic.
+    """
+
+    def __init__(
+        self,
+        config: PipelineConfig,
+        *,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        self.config = config
+        self.device = StreamDevice(num_streams=config.num_streams)
+        self.metrics = metrics
+        self._waiting: deque[tuple[int, BatchDag, float]] = deque()
+        self._local_of: dict[int, int] = {}
+        self._next_local = 0
+        self._in_flight = 0
+        self.inflight_peak = 0
+
+    def submit(self, dag: BatchDag, ready: float) -> int:
+        """Enqueue one compiled batch; returns a completion handle."""
+        local = self._next_local
+        self._next_local += 1
+        if self._in_flight < self.config.in_flight:
+            self._admit(local, dag, ready)
+        else:
+            self._waiting.append((local, dag, ready))
+            if self.metrics is not None:
+                self.metrics.count("pipeline.queued_batches")
+        return local
+
+    def _admit(self, local: int, dag: BatchDag, release: float) -> None:
+        handle = self.device.admit(dag, release)
+        self._local_of[handle] = local
+        self._in_flight += 1
+        self.inflight_peak = max(self.inflight_peak, self._in_flight)
+
+    def next_event_time(self) -> float | None:
+        return self.device.next_event_time()
+
+    def advance_to(self, limit: float) -> list[tuple[int, float]]:
+        """Process device events up to ``limit``.
+
+        Returns ``(handle, finish)`` for every batch that completed,
+        ordered by (finish, submission order).  Completions free window
+        slots, so queued batches admitted in their wake are also played
+        out up to ``limit``.
+        """
+        out: list[tuple[int, float]] = []
+        while True:
+            done = self.device.advance_to(limit)
+            if not done:
+                break
+            for completion in done:
+                self._in_flight -= 1
+                out.append(
+                    (self._local_of.pop(completion.handle),
+                     completion.finish)
+                )
+                if self._waiting:
+                    local, dag, ready = self._waiting.popleft()
+                    self._admit(local, dag, max(ready, completion.finish))
+        out.sort(key=lambda item: (item[1], item[0]))
+        return out
+
+    @property
+    def idle(self) -> bool:
+        return self.device.idle and not self._waiting

@@ -6,8 +6,9 @@ in:
 
 * **serving leg** — :func:`~repro.serve.cluster.simulate_cluster_open_loop`
   over the workload's seeded query trace, with the point's batching
-  window/cap, routing policy and admission knobs.  The result cache is
-  disabled so the measured cost reflects the knobs, not cache luck.
+  window/cap, routing policy, admission knobs and stream-pipeline
+  knobs.  The result cache is disabled so the measured cost reflects
+  the knobs, not cache luck.
 * **kernel leg** — :func:`~repro.core.hybrid.direction_optimized_bfs`
   from the workload's fixed roots, with the point's Beamer thresholds
   and tile floor.
@@ -15,9 +16,15 @@ in:
 Cost is the total simulated *device* seconds of both legs (the
 cluster's summed replica device time plus the hybrid runs) — not
 wall-clock, so equal inputs give byte-equal costs on any machine.
-Device seconds reward exactly what the knobs control: wider batch
-windows coalesce more queries per kernel, better thresholds and tile
-floors shrink each kernel.  The counterweight is the feasibility
+When the point's pipeline knobs are on, the serving leg's device time
+is the stream devices' *busy* time (the union of intervals where any
+node occupies the device), not the serial sum — overlap that genuinely
+shares the device gets rewarded, and because pipelined responses are
+bit-identical to the synchronous executor's, the tuner can never buy
+that reward with changed results.  Device seconds reward exactly what
+the knobs control: wider batch windows coalesce more queries per
+kernel, better thresholds and tile floors shrink each kernel, deeper
+in-flight windows overlap batches.  The counterweight is the feasibility
 guard: a point is **feasible** only if every response is OK and its
 p95 latency stays within ``slo_factor`` of the default point's p95,
 so the tuner may not buy device time by shedding queries or blowing
@@ -44,6 +51,8 @@ class Evaluation:
     """Deterministic outcome of scoring one point on one workload."""
 
     point: TuningPoint
+    #: Serving-leg device seconds: stream-device busy time when the
+    #: point pipelines, summed replica device time otherwise.
     cluster_seconds: float
     hybrid_seconds: float
     latency_p95: float
@@ -122,6 +131,7 @@ class CostModelEvaluator:
             max_batch_size=point.max_batch_size,
             cache_capacity=0,
             admission=point.admission_config(),
+            pipeline=point.pipeline_config(),
         )
         all_ok = all(r.status is QueryStatus.OK for r in responses)
         hybrid_seconds = 0.0
@@ -139,9 +149,14 @@ class CostModelEvaluator:
         feasible = all_ok and (
             report.latency_p95 <= self.slo_factor * self._default_p95
         )
+        cluster_seconds = (
+            report.pipeline_busy_seconds
+            if report.pipeline_enabled
+            else report.sim_seconds_total
+        )
         return Evaluation(
             point=point,
-            cluster_seconds=report.sim_seconds_total,
+            cluster_seconds=cluster_seconds,
             hybrid_seconds=hybrid_seconds,
             latency_p95=report.latency_p95,
             all_ok=all_ok,

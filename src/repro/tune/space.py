@@ -4,7 +4,8 @@ A :class:`TuningPoint` is one full assignment of the joint configuration
 space the paper's "self-adaptive" claim spans — Beamer push/pull
 thresholds (:class:`~repro.core.hybrid.HybridConfig`), the tile
 decomposition floor (``min_tile``), the micro-batching window/cap, the
-cluster routing policy and the AIMD admission knobs.  A
+cluster routing policy, the AIMD admission knobs and the stream-pipeline
+knobs (in-flight window, stream count, prefetch depth).  A
 :class:`TuningSpace` is the ordered set of per-knob candidate values the
 search DAG expands over: axis order is the DAG's level order, so the
 highest-leverage knobs come first and shallow searches still move them.
@@ -29,6 +30,7 @@ from repro.core.tiling import DEFAULT_MIN_TILE
 from repro.errors import InvalidParameterError
 from repro.serve.admission import AdmissionConfig
 from repro.serve.cluster import ROUTING_POLICIES
+from repro.serve.pipelined import PipelineConfig
 
 
 @dataclass(frozen=True)
@@ -49,6 +51,9 @@ class TuningPoint:
     max_concurrency: int = 64
     backoff: float = 0.5
     recovery: float = 0.5
+    in_flight: int = 1
+    num_streams: int = 1
+    prefetch_depth: int = 0
 
     def __post_init__(self) -> None:
         if self.alpha <= 0 or self.beta <= 0:
@@ -70,6 +75,8 @@ class TuningPoint:
             raise InvalidParameterError("backoff must be in (0, 1)")
         if self.recovery <= 0:
             raise InvalidParameterError("recovery must be > 0")
+        # Delegates range checks for the pipeline knobs (>= 1 / >= 0).
+        self.pipeline_config()
 
     def key(self) -> tuple[Any, ...]:
         """Canonical hashable identity (evaluation-cache key)."""
@@ -105,6 +112,14 @@ class TuningPoint:
             recovery=self.recovery,
         )
 
+    def pipeline_config(self) -> PipelineConfig:
+        """The point's stream-pipeline knobs (defaults = synchronous)."""
+        return PipelineConfig(
+            in_flight=self.in_flight,
+            num_streams=self.num_streams,
+            prefetch_depth=self.prefetch_depth,
+        )
+
     def scheduler_factory(self) -> Callable[[], Scheduler]:
         """A fresh-SAGE-scheduler factory carrying the point's tile floor."""
         min_tile = self.min_tile
@@ -116,11 +131,15 @@ class TuningPoint:
 
 
 #: The default candidate grid, ordered by expected leverage: batching
-#: first (it moves the serving tier directly), then the per-kernel tile
-#: floor, the Beamer thresholds, routing, and the admission knobs.
+#: first (it moves the serving tier directly), then the stream-pipeline
+#: window (it cuts device busy time directly), the per-kernel tile
+#: floor, the Beamer thresholds, routing, the admission knobs, and
+#: last the out-of-core prefetch depth (a no-op for in-core workloads).
 DEFAULT_AXES: tuple[tuple[str, tuple[Any, ...]], ...] = (
     ("batch_window", (0.02, 0.05, 0.1, 0.2)),
     ("max_batch_size", (16, 64, 128)),
+    ("in_flight", (1, 2, 4)),
+    ("num_streams", (1, 2, 4)),
     ("min_tile", (4, 8, 16, 32)),
     ("alpha", (4.0, 8.0, 14.0, 24.0, 48.0)),
     ("beta", (8.0, 24.0, 64.0)),
@@ -128,6 +147,7 @@ DEFAULT_AXES: tuple[tuple[str, tuple[Any, ...]], ...] = (
     ("max_concurrency", (16, 64)),
     ("backoff", (0.25, 0.5)),
     ("recovery", (0.5, 2.0)),
+    ("prefetch_depth", (0, 1, 2)),
 )
 
 

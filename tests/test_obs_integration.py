@@ -221,7 +221,7 @@ class TestBenchTrajectory:
         assert set(first["workloads"]) == {
             "bfs_rmat", "pagerank_rmat", "sssp_rmat", "bfs_rmat_outofcore",
             "bfs_rmat_100k", "pagerank_rmat_100k", "serve_openloop",
-            "cluster_openloop", "tuned_vs_default",
+            "cluster_openloop", "pipeline_openloop", "tuned_vs_default",
         }
         for row in first["workloads"].values():
             # The serving row carries only the metrics that exist for a

@@ -143,6 +143,44 @@ class TestEmitSitesResolve:
         assert emitted["set_gauge"] == set(names.TUNE_GAUGES)
         assert emitted["span"] == tune_spans
 
+    def test_pipeline_emits_exactly_the_registered_pipeline_names(self):
+        """The stream pipeline's emit sites == its registry slices.
+
+        Scans all of ``repro/serve`` for ``pipeline.*`` / ``stream.*``
+        literals (the core traversal pipeline owns the other
+        ``pipeline.*`` counters and is pinned by SAGE002), so an
+        executor/cluster metric added without registration — or
+        registered without an emit site — fails either way.
+        """
+        emitted: dict[str, set[str]] = {
+            "count": set(), "set_counter": set(),
+            "set_gauge": set(), "span": set(),
+        }
+        for path in sorted((SRC / "serve").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in emitted
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith(
+                        ("pipeline.", "stream.")
+                    )
+                ):
+                    emitted[node.func.attr].add(node.args[0].value)
+        counters = emitted["count"] | emitted["set_counter"]
+        pipeline_spans = {
+            s for s in names.SPANS if s.startswith("pipeline.")
+        }
+        assert counters == set(
+            names.PIPELINE_EXEC_COUNTERS | names.STREAM_COUNTERS
+        )
+        assert emitted["set_gauge"] == set(names.PIPELINE_GAUGES)
+        assert emitted["span"] == pipeline_spans
+
     def test_api_emits_exactly_the_registered_api_counters(self):
         """The facade's ``api.*`` literals == the canonical list."""
         tree = ast.parse((SRC / "api.py").read_text(encoding="utf-8"))
@@ -173,6 +211,8 @@ class TestRegistryStructure:
         union = (
             names.SAGE_COUNTERS
             | names.PIPELINE_COUNTERS
+            | names.PIPELINE_EXEC_COUNTERS
+            | names.STREAM_COUNTERS
             | names.REORDER_COUNTERS
             | names.OOC_COUNTERS
             | names.MULTIGPU_COUNTERS
@@ -190,6 +230,7 @@ class TestRegistryStructure:
             | names.SERVE_GAUGES
             | names.CLUSTER_GAUGES
             | names.TUNE_GAUGES
+            | names.PIPELINE_GAUGES
         )
 
     def test_kinds_do_not_overlap(self):
