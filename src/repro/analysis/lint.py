@@ -22,6 +22,15 @@ violations of repo-specific rules ordinary linters cannot express:
   ``run_app(..., sanitizer=...)`` (use ``repro.api.run(..., checks=...)``)
   or direct ``QueryBroker(...)`` construction (use ``repro.api.serve``).
   The sanctioned internal construction sites carry an inline allow.
+* **SAGE006** — lock discipline: an attribute a class declares in its
+  ``_guarded_by`` mapping (attribute name → guard attribute, or a tuple
+  of acceptable guards) accessed outside a ``with self.<guard>:`` block.
+  ``__init__`` and methods named ``*_locked`` (caller holds the lock by
+  convention) are exempt.
+* **SAGE007** — a known-blocking call while a lock is held:
+  ``time.sleep``, joining a thread-like object, or ``.wait()`` on
+  anything other than the held guard itself inside a ``with``-lock
+  block.  Blocking under a lock is how the serving stack deadlocks.
 
 A committed baseline (``lint_baseline.json``) ratchets existing
 violations: counts may only go down.  ``--update-baseline`` rewrites it
@@ -51,6 +60,8 @@ RULES: dict[str, str] = {
     "SAGE003": "unseeded numpy randomness in library code",
     "SAGE004": "bare except / swallowed diagnostics in simulator layers",
     "SAGE005": "deprecated entry point (run_app sanitizer= / QueryBroker())",
+    "SAGE006": "attribute declared in _guarded_by accessed without its lock",
+    "SAGE007": "known-blocking call while a lock is held",
 }
 
 #: Path suffixes of the vectorized hot paths SAGE001 protects.
@@ -122,6 +133,177 @@ def _annotation_is_arrayish(annotation: ast.AST | None) -> bool:
     return "ndarray" in text or "NDArray" in text
 
 
+def _parse_guarded_by(node: ast.ClassDef) -> dict[str, tuple[str, ...]]:
+    """The class's literal ``_guarded_by`` declaration, if any.
+
+    Maps attribute name → tuple of acceptable guard attribute names.
+    Non-literal declarations are ignored (the dynamic detector still
+    covers them at runtime).
+    """
+    for stmt in node.body:
+        if isinstance(stmt, ast.Assign):
+            targets, value = stmt.targets, stmt.value
+        elif isinstance(stmt, ast.AnnAssign) and stmt.value is not None:
+            targets, value = [stmt.target], stmt.value
+        else:
+            continue
+        if not any(
+            isinstance(t, ast.Name) and t.id == "_guarded_by"
+            for t in targets
+        ):
+            continue
+        if not isinstance(value, ast.Dict):
+            return {}
+        out: dict[str, tuple[str, ...]] = {}
+        for key, val in zip(value.keys, value.values):
+            if not (
+                isinstance(key, ast.Constant) and isinstance(key.value, str)
+            ):
+                continue
+            if isinstance(val, ast.Constant) and isinstance(val.value, str):
+                out[key.value] = (val.value,)
+            elif isinstance(val, ast.Tuple):
+                guards = tuple(
+                    elt.value for elt in val.elts
+                    if isinstance(elt, ast.Constant)
+                    and isinstance(elt.value, str)
+                )
+                if guards:
+                    out[key.value] = guards
+        return out
+    return {}
+
+
+class _GuardChecker(ast.NodeVisitor):
+    """Held-lock tracking over one function body (SAGE006/SAGE007).
+
+    ``held`` mirrors the ``with self.<guard>:`` nesting at the visited
+    statement (bare names containing "lock" count too, for module-level
+    helpers).  Nested function and lambda bodies run later under
+    unknown locks, so they reset ``held``; nested classes are checked
+    against their own ``_guarded_by`` when the linter reaches them.
+    """
+
+    def __init__(
+        self,
+        linter: "_FileLinter",
+        guarded: dict[str, tuple[str, ...]],
+        check_guards: bool,
+    ) -> None:
+        self.linter = linter
+        self.guarded = guarded
+        self.check_guards = check_guards and bool(guarded)
+        self.held: list[str] = []
+
+    @staticmethod
+    def _guard_name(expr: ast.AST) -> str | None:
+        if (
+            isinstance(expr, ast.Attribute)
+            and isinstance(expr.value, ast.Name)
+            and expr.value.id == "self"
+        ):
+            return expr.attr
+        if isinstance(expr, ast.Name) and "lock" in expr.id.lower():
+            return expr.id
+        return None
+
+    def _visit_with(self, node: ast.With | ast.AsyncWith) -> None:
+        # Context expressions evaluate before the guard is held.
+        for item in node.items:
+            self.visit(item.context_expr)
+            if item.optional_vars is not None:
+                self.visit(item.optional_vars)
+        added = [
+            guard for item in node.items
+            if (guard := self._guard_name(item.context_expr)) is not None
+        ]
+        self.held.extend(added)
+        for stmt in node.body:
+            self.visit(stmt)
+        if added:
+            del self.held[-len(added):]
+
+    visit_With = _visit_with
+    visit_AsyncWith = _visit_with
+
+    def _visit_deferred(
+        self, node: ast.FunctionDef | ast.AsyncFunctionDef | ast.Lambda
+    ) -> None:
+        saved, self.held = self.held, []
+        body = node.body if isinstance(node.body, list) else [node.body]
+        for stmt in body:
+            self.visit(stmt)
+        self.held = saved
+
+    visit_FunctionDef = _visit_deferred
+    visit_AsyncFunctionDef = _visit_deferred
+    visit_Lambda = _visit_deferred
+
+    def visit_ClassDef(self, node: ast.ClassDef) -> None:
+        pass  # checked against its own _guarded_by declaration
+
+    def visit_Attribute(self, node: ast.Attribute) -> None:
+        if (
+            self.check_guards
+            and isinstance(node.value, ast.Name)
+            and node.value.id == "self"
+        ):
+            guards = self.guarded.get(node.attr)
+            if guards is not None and not any(
+                guard in self.held for guard in guards
+            ):
+                self.linter._flag(
+                    "SAGE006",
+                    node,
+                    f"self.{node.attr} is declared _guarded_by "
+                    f"{'/'.join(guards)} but is accessed with no guard "
+                    f"held",
+                )
+        self.generic_visit(node)
+
+    def visit_Call(self, node: ast.Call) -> None:
+        if self.held:
+            self._check_blocking(node)
+        self.generic_visit(node)
+
+    def _check_blocking(self, node: ast.Call) -> None:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return
+        receiver = func.value
+        if (
+            func.attr == "sleep"
+            and isinstance(receiver, ast.Name)
+            and receiver.id == "time"
+        ):
+            self.linter._flag(
+                "SAGE007",
+                node,
+                f"time.sleep() while holding {self.held[-1]}; release "
+                f"the lock first",
+            )
+        elif func.attr == "join":
+            text = ast.unparse(receiver).lower()
+            if any(w in text for w in ("thread", "worker", "client")):
+                self.linter._flag(
+                    "SAGE007",
+                    node,
+                    f"joining {ast.unparse(receiver)} while holding "
+                    f"{self.held[-1]} can deadlock; join outside the "
+                    f"lock",
+                )
+        elif func.attr == "wait":
+            name = self._guard_name(receiver)
+            if name is None or name not in self.held:
+                self.linter._flag(
+                    "SAGE007",
+                    node,
+                    f"blocking wait on {ast.unparse(receiver)} while "
+                    f"holding {self.held[-1]}; only the held guard's "
+                    f"own condition may wait here",
+                )
+
+
 class _FileLinter(ast.NodeVisitor):
     """Single-file visitor producing :class:`Violation` records."""
 
@@ -136,6 +318,8 @@ class _FileLinter(ast.NodeVisitor):
         )
         # Scope stack entries: (arrayish-name set, exempt-from-SAGE001).
         self._scopes: list[tuple[set[str], bool]] = [(set(), False)]
+        self._guarded_stack: list[dict[str, tuple[str, ...]]] = []
+        self._function_depth = 0
 
     # -- scope helpers -------------------------------------------------
 
@@ -185,12 +369,26 @@ class _FileLinter(ast.NodeVisitor):
 
     def visit_ClassDef(self, node: ast.ClassDef) -> None:
         self._push_scope(node.name.startswith("Reference"))
+        self._guarded_stack.append(_parse_guarded_by(node))
         self.generic_visit(node)
+        self._guarded_stack.pop()
         self._scopes.pop()
 
     def _visit_function(
         self, node: ast.FunctionDef | ast.AsyncFunctionDef
     ) -> None:
+        if self._function_depth == 0:
+            # Methods and top-level functions each get one guard pass;
+            # the checker handles nested defs itself (held resets).
+            guarded = (
+                self._guarded_stack[-1] if self._guarded_stack else {}
+            )
+            check = not (
+                node.name == "__init__" or node.name.endswith("_locked")
+            )
+            checker = _GuardChecker(self, guarded, check)
+            for stmt in node.body:
+                checker.visit(stmt)
         self._push_scope(node.name.endswith("_reference"))
         all_args = (
             list(node.args.posonlyargs)
@@ -200,7 +398,9 @@ class _FileLinter(ast.NodeVisitor):
         for arg in all_args:
             if _annotation_is_arrayish(arg.annotation):
                 self._arrayish.add(arg.arg)
+        self._function_depth += 1
         self.generic_visit(node)
+        self._function_depth -= 1
         self._scopes.pop()
 
     visit_FunctionDef = _visit_function

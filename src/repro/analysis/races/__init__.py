@@ -1,0 +1,78 @@
+"""Concurrency sanitizer: races, schedules, and lock discipline.
+
+Three layers over the serving stack's threads:
+
+* :mod:`repro.analysis.races.detector` — a dynamic detector combining
+  vector-clock happens-before with lockset analysis, fed by the
+  instrumentation shim (:mod:`repro.analysis.races.instrument`) that
+  the serve modules build their locks/threads through.  Zero-cost when
+  no detector is active (the :mod:`repro.obs` null-object pattern).
+* :mod:`repro.analysis.races.schedule` — deterministic schedule
+  exploration: a CHESS-style cooperative scheduler that serializes
+  instrumented threads onto one runnable token and replays seeded,
+  preemption-bounded interleavings, plus a seeded yield fuzzer for
+  whole components.
+* ``SAGE006``/``SAGE007`` in :mod:`repro.analysis.lint` — static
+  lock-discipline rules over the ``_guarded_by`` declarations the
+  serve classes carry.
+
+Finding codes: ``RACE001`` write/write race, ``RACE002`` read/write
+race, ``RACE003`` lock-order inversion, ``RACE004`` blocking while
+holding a lock, ``RACE005`` unjoined thread.
+"""
+
+from repro.analysis.races.detector import RaceDetector, RaceError
+from repro.analysis.races.findings import RACE_CODES, RaceFinding
+from repro.analysis.races.instrument import (
+    activate,
+    active_detector,
+    deactivate,
+    instrumented,
+    make_condition,
+    make_event,
+    make_lock,
+    make_queue,
+    make_rlock,
+    note_blocking,
+    note_read,
+    note_write,
+    schedule_point,
+    set_scheduler,
+    spawn_thread,
+)
+from repro.analysis.races.schedule import (
+    CooperativeScheduler,
+    DeadlockError,
+    UnsupportedScheduleOp,
+    YieldFuzzer,
+    explore,
+    run_schedule,
+)
+
+__all__ = [
+    "RACE_CODES",
+    "CooperativeScheduler",
+    "DeadlockError",
+    "RaceDetector",
+    "RaceError",
+    "RaceFinding",
+    "UnsupportedScheduleOp",
+    "YieldFuzzer",
+    "activate",
+    "active_detector",
+    "deactivate",
+    "explore",
+    "instrumented",
+    "make_condition",
+    "make_event",
+    "make_lock",
+    "make_queue",
+    "make_rlock",
+    "note_blocking",
+    "note_read",
+    "note_write",
+    "run_schedule",
+    "schedule_point",
+    "set_scheduler",
+    "spawn_thread",
+]

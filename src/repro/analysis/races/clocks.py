@@ -1,0 +1,59 @@
+"""Typed vector clocks: the happens-before half of the race detector.
+
+A :class:`VectorClock` maps thread id -> logical time.  Each thread
+carries one clock; synchronization edges (lock release -> acquire,
+thread spawn -> body, body end -> join, event set -> wait, queue put ->
+get) transfer clocks between threads via :meth:`merge`.  Memory accesses
+are stamped with the accessing thread's *epoch* — the ``(tid, time)``
+pair of its own component — and an earlier access happens-before a later
+operation iff the later thread's clock has caught up with that epoch
+(:meth:`at_least`), the standard FastTrack-style check.
+"""
+
+from __future__ import annotations
+
+
+class VectorClock:
+    """A mapping ``thread id -> logical time`` with merge/compare ops."""
+
+    __slots__ = ("_times",)
+
+    def __init__(self, times: dict[int, int] | None = None) -> None:
+        self._times: dict[int, int] = dict(times) if times else {}
+
+    def time_of(self, tid: int) -> int:
+        """This clock's component for ``tid`` (0 if never seen)."""
+        return self._times.get(tid, 0)
+
+    def tick(self, tid: int) -> int:
+        """Advance ``tid``'s component; returns the new time."""
+        advanced = self._times.get(tid, 0) + 1
+        self._times[tid] = advanced
+        return advanced
+
+    def merge(self, other: VectorClock) -> None:
+        """Pointwise maximum: receive every edge ``other`` has seen."""
+        for tid, time in other._times.items():
+            if time > self._times.get(tid, 0):
+                self._times[tid] = time
+
+    def copy(self) -> VectorClock:
+        """An independent snapshot of this clock."""
+        return VectorClock(self._times)
+
+    def at_least(self, tid: int, time: int) -> bool:
+        """Whether this clock has caught up with epoch ``(tid, time)``.
+
+        True iff an access stamped at that epoch happens-before any
+        operation performed under this clock.
+        """
+        return self._times.get(tid, 0) >= time
+
+    def __len__(self) -> int:
+        return len(self._times)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(
+            f"{tid}:{time}" for tid, time in sorted(self._times.items())
+        )
+        return f"VectorClock({{{inner}}})"

@@ -1,0 +1,570 @@
+"""Dynamic race detector: happens-before + lockset over instrumented ops.
+
+:class:`RaceDetector` receives synchronization and memory-access events
+from :mod:`repro.analysis.races.instrument` and maintains:
+
+* one :class:`~repro.analysis.races.clocks.VectorClock` per thread,
+  with edges transferred on lock release->acquire, thread spawn->body,
+  body-end->join, event set->wait and queue put->get;
+* per-variable access histories stamped with FastTrack-style epochs and
+  the lockset held at the access;
+* a held-lock order graph (edges ``held -> acquired``, keyed by lock
+  *name* so the check is schedule-independent once both orders have
+  been observed anywhere in the run).
+
+A pair of accesses to the same variable from different threads races
+when neither happens-before the other **and** their locksets are
+disjoint **and** at least one is a write (``RACE001`` write/write,
+``RACE002`` read/write).  Cycles in the lock-order graph are
+``RACE003``; blocking primitives invoked while holding a tracked lock
+are ``RACE004``; spawned threads never joined by :meth:`finalize` are
+``RACE005``.
+
+Findings are deduplicated by (code, subject, thread names) — all
+deterministic under the schedule explorer — flow into :mod:`repro.obs`
+as ``races.*`` counters, and export as a JSON report shaped like the
+kernel hazard sanitizer's.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+from dataclasses import dataclass
+from pathlib import Path
+
+from repro.analysis.races.clocks import VectorClock
+from repro.analysis.races.findings import (
+    RACE_CODES,
+    SCHEMA_VERSION,
+    RaceFinding,
+)
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+__all__ = ["RaceDetector", "RaceError"]
+
+
+class RaceError(RuntimeError):
+    """Raised instead of recording when ``fail_fast`` is enabled."""
+
+
+@dataclass(frozen=True, slots=True)
+class _Access:
+    """One memory access: epoch time, lockset, and source site."""
+
+    time: int
+    lockset: frozenset[int]
+    lock_names: tuple[str, ...]
+    site: str
+
+
+@dataclass(slots=True)
+class _VarState:
+    """Per-variable access history: last read/write per thread."""
+
+    display: str
+    reads: dict[int, _Access]
+    writes: dict[int, _Access]
+
+
+@dataclass(slots=True)
+class _ThreadRecord:
+    """One spawned (tracked) thread's lifecycle bookkeeping."""
+
+    name: str
+    spawn_clock: VectorClock
+    final_clock: VectorClock | None
+    joined: bool
+    spawn_site: str
+
+
+class RaceDetector:
+    """Happens-before + lockset race detection over instrumented events.
+
+    Args:
+        metrics: observability registry receiving ``races.*`` counters
+            (defaults to the null registry: counting costs nothing).
+        fail_fast: raise :class:`RaceError` on the first finding
+            instead of recording it.
+        max_findings: stop recording (but keep counting) beyond this
+            many findings so a systematically-racy run stays bounded.
+    """
+
+    def __init__(
+        self,
+        *,
+        metrics: MetricsRegistry | None = None,
+        fail_fast: bool = False,
+        max_findings: int = 1000,
+    ) -> None:
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self.fail_fast = fail_fast
+        self.max_findings = max_findings
+        self.findings: list[RaceFinding] = []
+        self.total_findings = 0
+        self.accesses_checked = 0
+        self.acquires = 0
+        self.threads_tracked = 0
+        self.locks_tracked = 0
+        # One plain (untracked) mutex guards every structure below; it
+        # is a leaf lock — nothing tracked is ever called under it.
+        self._mu = threading.Lock()
+        self._clocks: dict[int, VectorClock] = {}
+        self._names: dict[int, str] = {}
+        self._held: dict[int, list[tuple[int, str]]] = {}
+        self._lock_clocks: dict[int, VectorClock] = {}
+        self._lock_names: dict[int, str] = {}
+        self._vars: dict[tuple[int, str], _VarState] = {}
+        self._order_edges: dict[str, set[str]] = {}
+        self._threads: dict[int, _ThreadRecord] = {}
+        self._event_clocks: dict[int, VectorClock] = {}
+        self._queue_clocks: dict[int, VectorClock] = {}
+        self._seen: set[tuple[str, str, tuple[str, ...]]] = set()
+        self._finalized = False
+
+    # ------------------------------------------------------------------
+    # Thread identity
+    # ------------------------------------------------------------------
+
+    def _clock(self, tid: int) -> VectorClock:
+        clock = self._clocks.get(tid)
+        if clock is None:
+            clock = VectorClock()
+            clock.tick(tid)
+            self._clocks[tid] = clock
+        return clock
+
+    def _thread_name(self, tid: int) -> str:
+        name = self._names.get(tid)
+        if name is None:
+            name = threading.current_thread().name
+            self._names[tid] = name
+        return name
+
+    def name_thread(self, tid: int, name: str) -> None:
+        """Bind a deterministic display name to an OS thread id."""
+        with self._mu:
+            self._names[tid] = name
+
+    # ------------------------------------------------------------------
+    # Synchronization events (called by the instrumentation shim)
+    # ------------------------------------------------------------------
+
+    def register_lock(self, key: int, name: str) -> None:
+        """A tracked lock was created."""
+        with self._mu:
+            self._lock_names[key] = name
+            self.locks_tracked += 1
+            self.metrics.count("races.locks_tracked")
+
+    def on_acquire(self, key: int, name: str, tid: int, site: str) -> None:
+        """Thread ``tid`` acquired tracked lock ``key`` (outermost)."""
+        with self._mu:
+            self.acquires += 1
+            self.metrics.count("races.acquires")
+            clock = self._clock(tid)
+            stored = self._lock_clocks.get(key)
+            if stored is not None:
+                clock.merge(stored)
+            held = self._held.setdefault(tid, [])
+            for held_key, held_name in held:
+                if held_key != key and held_name != name:
+                    self._add_order_edge(held_name, name, tid, site)
+            held.append((key, name))
+
+    def on_release(self, key: int, name: str, tid: int) -> None:
+        """Thread ``tid`` released tracked lock ``key`` (outermost)."""
+        with self._mu:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._lock_clocks[key] = clock.copy()
+            held = self._held.get(tid)
+            if held is not None:
+                for index in range(len(held) - 1, -1, -1):
+                    if held[index][0] == key:
+                        del held[index]
+                        break
+
+    def on_spawn(self, key: int, name: str, tid: int, site: str) -> None:
+        """Thread ``tid`` is starting tracked thread ``key``."""
+        with self._mu:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            self._threads[key] = _ThreadRecord(
+                name=name,
+                spawn_clock=clock.copy(),
+                final_clock=None,
+                joined=False,
+                spawn_site=site,
+            )
+            self.threads_tracked += 1
+            self.metrics.count("races.threads_tracked")
+
+    def on_thread_body_start(self, key: int, tid: int) -> None:
+        """Tracked thread ``key`` began running on OS thread ``tid``."""
+        with self._mu:
+            record = self._threads.get(key)
+            if record is None:  # pragma: no cover - defensive
+                return
+            self._names[tid] = record.name
+            self._clock(tid).merge(record.spawn_clock)
+
+    def on_thread_body_end(self, key: int, tid: int) -> None:
+        """Tracked thread ``key`` finished; snapshot its final clock."""
+        with self._mu:
+            record = self._threads.get(key)
+            if record is None:  # pragma: no cover - defensive
+                return
+            clock = self._clock(tid)
+            clock.tick(tid)
+            record.final_clock = clock.copy()
+
+    def on_join(self, key: int, tid: int) -> None:
+        """Thread ``tid`` joined tracked thread ``key``."""
+        with self._mu:
+            record = self._threads.get(key)
+            if record is None:  # pragma: no cover - defensive
+                return
+            record.joined = True
+            if record.final_clock is not None:
+                self._clock(tid).merge(record.final_clock)
+
+    def on_event_set(self, key: int, tid: int) -> None:
+        """A tracked event was set: publish the setter's clock."""
+        with self._mu:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            stored = self._event_clocks.get(key)
+            if stored is None:
+                self._event_clocks[key] = clock.copy()
+            else:
+                stored.merge(clock)
+
+    def on_event_wait_done(self, key: int, tid: int) -> None:
+        """A tracked event wait returned: receive the setter's clock."""
+        with self._mu:
+            stored = self._event_clocks.get(key)
+            if stored is not None:
+                self._clock(tid).merge(stored)
+
+    def on_queue_put(self, key: int, tid: int) -> None:
+        """An item entered a tracked queue: publish the producer clock."""
+        with self._mu:
+            clock = self._clock(tid)
+            clock.tick(tid)
+            stored = self._queue_clocks.get(key)
+            if stored is None:
+                self._queue_clocks[key] = clock.copy()
+            else:
+                stored.merge(clock)
+
+    def on_queue_get_done(self, key: int, tid: int) -> None:
+        """An item left a tracked queue: receive the producer clock."""
+        with self._mu:
+            stored = self._queue_clocks.get(key)
+            if stored is not None:
+                self._clock(tid).merge(stored)
+
+    # ------------------------------------------------------------------
+    # Memory accesses
+    # ------------------------------------------------------------------
+
+    def on_read(
+        self, owner: int, display: str, attr: str, tid: int, site: str
+    ) -> None:
+        """Thread ``tid`` read shared variable ``display``.``attr``."""
+        self._on_access(owner, display, attr, tid, site, is_write=False)
+
+    def on_write(
+        self, owner: int, display: str, attr: str, tid: int, site: str
+    ) -> None:
+        """Thread ``tid`` wrote shared variable ``display``.``attr``."""
+        self._on_access(owner, display, attr, tid, site, is_write=True)
+
+    def _on_access(
+        self,
+        owner: int,
+        display: str,
+        attr: str,
+        tid: int,
+        site: str,
+        *,
+        is_write: bool,
+    ) -> None:
+        with self._mu:
+            self.accesses_checked += 1
+            self.metrics.count("races.accesses_checked")
+            clock = self._clock(tid)
+            held = self._held.get(tid, [])
+            lockset = frozenset(key for key, _ in held)
+            lock_names = tuple(name for _, name in held)
+            name = f"{display}.{attr}"
+            state = self._vars.get((owner, name))
+            if state is None:
+                state = _VarState(display=name, reads={}, writes={})
+                self._vars[(owner, name)] = state
+            access = _Access(
+                time=clock.time_of(tid),
+                lockset=lockset,
+                lock_names=lock_names,
+                site=site,
+            )
+            # A write conflicts with prior reads and writes; a read only
+            # with prior writes.
+            self._check_conflicts(
+                state, state.writes, clock, tid, access,
+                code="RACE001" if is_write else "RACE002",
+                prior_kind="write",
+                current_kind="write" if is_write else "read",
+            )
+            if is_write:
+                self._check_conflicts(
+                    state, state.reads, clock, tid, access,
+                    code="RACE002",
+                    prior_kind="read",
+                    current_kind="write",
+                )
+                state.writes[tid] = access
+            else:
+                state.reads[tid] = access
+
+    def _check_conflicts(
+        self,
+        state: _VarState,
+        prior: dict[int, _Access],
+        clock: VectorClock,
+        tid: int,
+        access: _Access,
+        *,
+        code: str,
+        prior_kind: str,
+        current_kind: str,
+    ) -> None:
+        for other_tid, other in prior.items():
+            if other_tid == tid:
+                continue
+            if clock.at_least(other_tid, other.time):
+                continue  # ordered by a synchronization chain
+            if access.lockset & other.lockset:
+                continue  # a common lock protects the pair
+            names = tuple(
+                sorted({self._thread_name(tid), self._names.get(
+                    other_tid, f"thread-{other_tid}")})
+            )
+            self._record(
+                RaceFinding(
+                    code=code,
+                    kind=RACE_CODES[code],
+                    subject=state.display,
+                    threads=names,
+                    message=(
+                        f"unsynchronized {current_kind} of {state.display} "
+                        f"({access.site}) races a {prior_kind} "
+                        f"({other.site}); locksets "
+                        f"{list(access.lock_names) or '[]'} vs "
+                        f"{list(other.lock_names) or '[]'} are disjoint"
+                    ),
+                    details={
+                        "current_site": access.site,
+                        "prior_site": other.site,
+                        "current_lockset": list(access.lock_names),
+                        "prior_lockset": list(other.lock_names),
+                    },
+                )
+            )
+
+    # ------------------------------------------------------------------
+    # Lock-order inversion
+    # ------------------------------------------------------------------
+
+    def _add_order_edge(
+        self, held: str, acquired: str, tid: int, site: str
+    ) -> None:
+        targets = self._order_edges.setdefault(held, set())
+        if acquired in targets:
+            return
+        targets.add(acquired)
+        cycle = self._find_cycle(acquired, held)
+        if cycle is not None:
+            ordered = _rotate_cycle(cycle)
+            subject = " -> ".join(ordered + [ordered[0]])
+            self._record(
+                RaceFinding(
+                    code="RACE003",
+                    kind=RACE_CODES["RACE003"],
+                    subject=subject,
+                    threads=(self._thread_name(tid),),
+                    message=(
+                        f"lock-order inversion: acquiring {acquired!r} "
+                        f"while holding {held!r} ({site}) closes the "
+                        f"cycle {subject}"
+                    ),
+                    details={"cycle": ordered, "site": site},
+                )
+            )
+
+    def _find_cycle(self, start: str, goal: str) -> list[str] | None:
+        """A path ``start -> ... -> goal`` in the order graph, if any."""
+        stack: list[tuple[str, list[str]]] = [(start, [start])]
+        visited: set[str] = set()
+        while stack:
+            node, path = stack.pop()
+            if node == goal:
+                return path
+            if node in visited:
+                continue
+            visited.add(node)
+            for nxt in sorted(self._order_edges.get(node, ())):
+                stack.append((nxt, path + [nxt]))
+        return None
+
+    # ------------------------------------------------------------------
+    # Blocking while holding / unjoined threads
+    # ------------------------------------------------------------------
+
+    def on_blocking(
+        self,
+        desc: str,
+        tid: int,
+        site: str,
+        exclude: frozenset[int] = frozenset(),
+    ) -> None:
+        """Thread ``tid`` is about to block on ``desc``.
+
+        Flags ``RACE004`` when any tracked lock other than ``exclude``
+        (a condition's own lock, legitimately released by the wait) is
+        held across the blocking call.
+        """
+        with self._mu:
+            held = [
+                (key, name)
+                for key, name in self._held.get(tid, [])
+                if key not in exclude
+            ]
+            if not held:
+                return
+            names = tuple(name for _, name in held)
+            self._record(
+                RaceFinding(
+                    code="RACE004",
+                    kind=RACE_CODES["RACE004"],
+                    subject=desc,
+                    threads=(self._thread_name(tid),),
+                    message=(
+                        f"blocking call {desc} ({site}) while holding "
+                        f"{list(names)}; waiters on those locks stall "
+                        f"behind an unbounded wait"
+                    ),
+                    details={"site": site, "held": list(names)},
+                )
+            )
+
+    def finalize(self) -> None:
+        """End-of-run checks: flag spawned threads never joined."""
+        with self._mu:
+            if self._finalized:
+                return
+            self._finalized = True
+            for record in self._threads.values():
+                if record.joined:
+                    continue
+                self._record(
+                    RaceFinding(
+                        code="RACE005",
+                        kind=RACE_CODES["RACE005"],
+                        subject=record.name,
+                        threads=(record.name,),
+                        message=(
+                            f"thread {record.name!r} (spawned at "
+                            f"{record.spawn_site}) was never joined; its "
+                            f"writes are unordered with the rest of the "
+                            f"run"
+                        ),
+                        details={"spawn_site": record.spawn_site},
+                    )
+                )
+
+    # ------------------------------------------------------------------
+    # Recording / reporting
+    # ------------------------------------------------------------------
+
+    def _record(self, finding: RaceFinding) -> None:
+        # Callers hold self._mu.
+        if finding.code not in RACE_CODES:  # pragma: no cover - dev error
+            raise ValueError(f"unknown finding code {finding.code!r}")
+        key = (finding.code, finding.subject, finding.threads)
+        if key in self._seen:
+            return
+        self._seen.add(key)
+        if self.fail_fast:
+            raise RaceError(str(finding))
+        self.total_findings += 1
+        self.metrics.count("races.findings")
+        self.metrics.count(f"races.{finding.kind}")
+        if len(self.findings) < self.max_findings:
+            self.findings.append(finding)
+
+    @property
+    def clean(self) -> bool:
+        """Whether no finding has been recorded."""
+        return self.total_findings == 0
+
+    def counts_by_code(self) -> dict[str, int]:
+        """Recorded findings grouped by code."""
+        out: dict[str, int] = {}
+        for finding in self.findings:
+            out[finding.code] = out.get(finding.code, 0) + 1
+        return out
+
+    def report(self) -> dict[str, object]:
+        """The JSON-ready structured report."""
+        return {
+            "schema_version": SCHEMA_VERSION,
+            "clean": self.clean,
+            "total_findings": self.total_findings,
+            "threads_tracked": self.threads_tracked,
+            "locks_tracked": self.locks_tracked,
+            "acquires": self.acquires,
+            "accesses_checked": self.accesses_checked,
+            "counts_by_code": self.counts_by_code(),
+            "findings": [finding.to_dict() for finding in self.findings],
+        }
+
+    def write_json(self, path: str | Path) -> Path:
+        """Write the report to ``path`` and return it."""
+        out = Path(path)
+        out.write_text(
+            json.dumps(self.report(), indent=2, sort_keys=True) + "\n",
+            encoding="utf-8",
+        )
+        return out
+
+    def format_summary(self) -> str:
+        """Human-readable findings summary (the CLI's output)."""
+        lines = [
+            f"races: {'clean' if self.clean else 'FINDINGS'} — "
+            f"{self.total_findings} findings over "
+            f"{self.threads_tracked} threads / {self.locks_tracked} "
+            f"locks / {self.accesses_checked} accesses"
+        ]
+        for code, count in sorted(self.counts_by_code().items()):
+            lines.append(f"  {code} {RACE_CODES[code]:24s} {count}")
+        for finding in self.findings[:20]:
+            lines.append(f"  - {finding}")
+        if len(self.findings) > 20:
+            lines.append(f"  ... {len(self.findings) - 20} more")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"RaceDetector({self.total_findings} findings, "
+            f"{self.accesses_checked} accesses checked)"
+        )
+
+
+def _rotate_cycle(cycle: list[str]) -> list[str]:
+    """Rotate so the lexicographically-smallest lock leads (stable id)."""
+    if not cycle:
+        return cycle
+    pivot = cycle.index(min(cycle))
+    return cycle[pivot:] + cycle[:pivot]

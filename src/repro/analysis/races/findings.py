@@ -1,0 +1,66 @@
+"""Structured findings of the concurrency sanitizer.
+
+Mirrors :mod:`repro.analysis.sanitizer`: a closed code table
+(:data:`RACE_CODES`), one frozen dataclass per diagnostic
+(:class:`RaceFinding`), and JSON-ready dict views.  Finding identity is
+deliberately *site-based* (code, subject, access sites) rather than
+thread-id-based, so the same program run under the same explored
+schedule produces the same finding set even though OS thread ids differ.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+SCHEMA_VERSION = 1
+
+#: Every finding code the race detector can report, with a one-line
+#: meaning.  Keep in sync with DESIGN.md "Concurrency sanitizer".
+RACE_CODES: dict[str, str] = {
+    "RACE001": "write_write_race",
+    "RACE002": "read_write_race",
+    "RACE003": "lock_order_inversion",
+    "RACE004": "blocking_while_holding",
+    "RACE005": "unjoined_thread",
+}
+
+#: code -> short kind string (the values of :data:`RACE_CODES`).
+RACE_KINDS: dict[str, str] = dict(RACE_CODES)
+
+
+@dataclass(frozen=True)
+class RaceFinding:
+    """One structured concurrency diagnostic.
+
+    Attributes:
+        code: one of :data:`RACE_CODES`.
+        kind: the code's short name (``write_write_race`` ...).
+        subject: what the finding is about — a variable display name
+            (``QueryBroker.stats``), a lock cycle (``A -> B -> A``), or
+            a thread name.
+        threads: deterministic thread *names* involved, sorted.
+        message: human-readable one-liner.
+        details: JSON-ready extras (sites, locksets, epochs).
+    """
+
+    code: str
+    kind: str
+    subject: str
+    threads: tuple[str, ...]
+    message: str
+    details: dict[str, object] = field(default_factory=dict)
+
+    def to_dict(self) -> dict[str, object]:
+        """JSON-ready view."""
+        return {
+            "code": self.code,
+            "kind": self.kind,
+            "subject": self.subject,
+            "threads": list(self.threads),
+            "message": self.message,
+            "details": dict(self.details),
+        }
+
+    def __str__(self) -> str:
+        who = f" [{', '.join(self.threads)}]" if self.threads else ""
+        return f"{self.code} {self.kind}: {self.message}{who}"

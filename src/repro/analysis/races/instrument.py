@@ -1,0 +1,594 @@
+"""Instrumentation shim: tracked locks/threads behind a null default.
+
+The serving stack constructs its synchronization objects through the
+factories here (:func:`make_lock`, :func:`make_rlock`,
+:func:`make_condition`, :func:`make_event`, :func:`make_queue`,
+:func:`spawn_thread`) and marks its shared-attribute accesses with
+:func:`note_read` / :func:`note_write`.  When no detector is active
+(the default) every factory returns the plain :mod:`threading` object
+and every note is a single global-load-and-``None``-check — the same
+zero-cost null-object discipline as :data:`repro.obs.NULL_REGISTRY`.
+
+Activating a :class:`~repro.analysis.races.detector.RaceDetector`
+(:func:`activate` / the :func:`instrumented` context manager) makes the
+factories return tracked wrappers that feed every acquire/release,
+spawn/join, set/wait and put/get into the happens-before engine.
+Tracked objects bind to the detector active *at creation time*, so a
+broker built under ``api.serve(..., race_check=True)`` stays
+instrumented for its whole life even across detector hand-offs.
+
+A schedule hook (:func:`set_scheduler`) lets
+:mod:`repro.analysis.races.schedule` interpose on the same operations
+to serialize threads onto one runnable-at-a-time token or to inject
+seeded yields; the shim stays agnostic of which policy runs.
+"""
+
+from __future__ import annotations
+
+import queue
+import sys
+import threading
+from collections.abc import Callable, Iterator
+from contextlib import contextmanager
+from pathlib import PurePath
+from typing import TYPE_CHECKING, Any, Protocol
+
+from repro.analysis.races.detector import RaceDetector
+
+if TYPE_CHECKING:
+    from _thread import LockType, RLock as RLockType
+
+    RawLock = LockType | RLockType
+
+__all__ = [
+    "ScheduleAbort",
+    "TrackedCondition",
+    "TrackedEvent",
+    "TrackedLock",
+    "TrackedQueue",
+    "TrackedThread",
+    "activate",
+    "active_detector",
+    "active_scheduler",
+    "deactivate",
+    "instrumented",
+    "make_condition",
+    "make_event",
+    "make_lock",
+    "make_queue",
+    "make_rlock",
+    "note_blocking",
+    "note_read",
+    "note_write",
+    "schedule_point",
+    "set_scheduler",
+    "spawn_thread",
+]
+
+
+class ScheduleAbort(BaseException):
+    """Tears managed threads down after a schedule deadlock.
+
+    A ``BaseException`` so user ``except Exception`` handlers cannot
+    swallow it; raised by the cooperative scheduler's blocking hooks
+    and absorbed by :meth:`TrackedThread.run`.
+    """
+
+
+class Scheduler(Protocol):
+    """What a schedule policy must implement to interpose on the shim.
+
+    Implementations: the CHESS-style cooperative explorer and the
+    seeded yield fuzzer in :mod:`repro.analysis.races.schedule`.
+    """
+
+    def manages_current(self) -> bool:
+        """Whether the calling thread is under this policy's control."""
+        ...
+
+    def schedule_point(self, kind: str, detail: str) -> None:
+        """A potential context-switch point was reached."""
+        ...
+
+    def thread_spawned(
+        self, thread: threading.Thread, key: int, name: str
+    ) -> None: ...
+
+    def thread_body_begin(self, key: int) -> None: ...
+
+    def thread_body_end(self, key: int) -> None: ...
+
+    def thread_join(
+        self, thread: threading.Thread, key: int, timeout: float | None
+    ) -> None: ...
+
+    def acquire_lock(
+        self, raw: RawLock, key: int, blocking: bool, timeout: float
+    ) -> bool: ...
+
+    def lock_released(self, key: int) -> None: ...
+
+    def event_wait(
+        self, raw: threading.Event, key: int, timeout: float | None
+    ) -> bool: ...
+
+    def event_set(self, key: int) -> None: ...
+
+    def condition_wait(
+        self, raw: threading.Condition, key: int, timeout: float | None
+    ) -> bool: ...
+
+    def queue_put(
+        self,
+        raw: queue.Queue[Any],
+        key: int,
+        item: Any,
+        block: bool,
+        timeout: float | None,
+    ) -> None: ...
+
+    def queue_get(
+        self,
+        raw: queue.Queue[Any],
+        key: int,
+        block: bool,
+        timeout: float | None,
+    ) -> Any: ...
+
+
+_detector: RaceDetector | None = None
+_scheduler: Scheduler | None = None
+
+
+def active_detector() -> RaceDetector | None:
+    """The detector new tracked objects will bind to, if any."""
+    return _detector
+
+
+def active_scheduler() -> Scheduler | None:
+    """The schedule policy currently interposed, if any."""
+    return _scheduler
+
+
+def activate(detector: RaceDetector) -> None:
+    """Route subsequently-created synchronization objects to ``detector``."""
+    global _detector
+    if _detector is not None:
+        raise RuntimeError("a race detector is already active")
+    _detector = detector
+
+
+def deactivate() -> None:
+    """Stop instrumenting newly-created objects (existing ones keep
+    their bound detector)."""
+    global _detector
+    _detector = None
+
+
+def set_scheduler(scheduler: Scheduler | None) -> None:
+    """Install (or clear) the schedule policy the shim consults."""
+    global _scheduler
+    _scheduler = scheduler
+
+
+@contextmanager
+def instrumented(
+    detector: RaceDetector | None = None,
+) -> Iterator[RaceDetector]:
+    """Activate a detector for the block and finalize it on exit."""
+    det = detector if detector is not None else RaceDetector()
+    activate(det)
+    try:
+        yield det
+    finally:
+        deactivate()
+        det.finalize()
+
+
+def _site() -> str:
+    """``file.py:line`` of the nearest caller outside this package."""
+    frame = sys._getframe(1)
+    while frame is not None:
+        module = frame.f_globals.get("__name__", "")
+        if not str(module).startswith("repro.analysis.races"):
+            return f"{PurePath(frame.f_code.co_filename).name}:{frame.f_lineno}"
+        frame = frame.f_back
+    return "<unknown>"  # pragma: no cover - always has a caller
+
+
+# ---------------------------------------------------------------------
+# Access notes (the per-variable hooks the serve modules call)
+# ---------------------------------------------------------------------
+
+
+def note_read(owner: object, attr: str) -> None:
+    """Record a read of ``owner.<attr>`` (no-op when not instrumented)."""
+    det = _detector
+    if det is None:
+        return
+    det.on_read(
+        id(owner), type(owner).__name__, attr, threading.get_ident(), _site()
+    )
+
+
+def note_write(owner: object, attr: str) -> None:
+    """Record a write of ``owner.<attr>`` (no-op when not instrumented)."""
+    det = _detector
+    if det is None:
+        return
+    det.on_write(
+        id(owner), type(owner).__name__, attr, threading.get_ident(), _site()
+    )
+
+
+def note_blocking(desc: str) -> None:
+    """Record an imminent blocking call (no-op when not instrumented)."""
+    det = _detector
+    if det is None:
+        return
+    det.on_blocking(desc, threading.get_ident(), _site())
+
+
+def schedule_point(detail: str = "") -> None:
+    """Mark an interesting interleaving point for the explorer."""
+    sched = _scheduler
+    if sched is not None and sched.manages_current():
+        sched.schedule_point("point", detail)
+
+
+# ---------------------------------------------------------------------
+# Tracked wrappers
+# ---------------------------------------------------------------------
+
+
+class TrackedLock:
+    """A (possibly reentrant) lock feeding acquire/release events."""
+
+    def __init__(
+        self,
+        name: str,
+        detector: RaceDetector | None,
+        *,
+        reentrant: bool = False,
+    ) -> None:
+        self._raw: RawLock = (
+            threading.RLock() if reentrant else threading.Lock()
+        )
+        self._name = name
+        self._det = detector
+        self._key = id(self)
+        self._reentrant = reentrant
+        self._depth: dict[int, int] = {}
+        if detector is not None:
+            detector.register_lock(self._key, name)
+
+    @property
+    def name(self) -> str:
+        return self._name
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        tid = threading.get_ident()
+        if self._reentrant and self._depth.get(tid, 0) > 0:
+            got = self._raw.acquire(blocking, timeout)
+            if got:
+                self._depth[tid] += 1
+            return got
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            got = sched.acquire_lock(self._raw, self._key, blocking, timeout)
+        else:
+            got = self._raw.acquire(blocking, timeout)
+        if got:
+            self._depth[tid] = 1
+            if self._det is not None:
+                self._det.on_acquire(self._key, self._name, tid, _site())
+        return got
+
+    def release(self) -> None:
+        tid = threading.get_ident()
+        depth = self._depth.get(tid, 0)
+        if self._reentrant and depth > 1:
+            self._depth[tid] = depth - 1
+            self._raw.release()
+            return
+        self._depth.pop(tid, None)
+        # Publish the release clock *before* the raw release so a
+        # racing acquirer can only merge a fully-stored clock.
+        if self._det is not None:
+            self._det.on_release(self._key, self._name, tid)
+        self._raw.release()
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            sched.lock_released(self._key)
+
+    def __enter__(self) -> TrackedLock:
+        self.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self.release()
+
+
+class TrackedCondition:
+    """Condition variable over a :class:`TrackedLock`.
+
+    Wraps a real :class:`threading.Condition` bound to the tracked
+    lock's raw lock; :meth:`wait` books a full release/reacquire of the
+    tracked lock around the real wait so the happens-before edges match
+    what the OS actually does, and checks ``RACE004`` for any *other*
+    tracked lock held across the wait.
+    """
+
+    def __init__(
+        self,
+        lock: TrackedLock,
+        name: str,
+        detector: RaceDetector | None,
+    ) -> None:
+        self._lock = lock
+        self._name = name
+        self._det = detector
+        self._key = id(self)
+        self._raw = threading.Condition(lock._raw)
+
+    def acquire(self, blocking: bool = True, timeout: float = -1) -> bool:
+        return self._lock.acquire(blocking, timeout)
+
+    def release(self) -> None:
+        self._lock.release()
+
+    def __enter__(self) -> TrackedCondition:
+        self._lock.acquire()
+        return self
+
+    def __exit__(self, *exc: object) -> None:
+        self._lock.release()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        tid = threading.get_ident()
+        det = self._det
+        if det is not None:
+            det.on_blocking(
+                f"Condition({self._name}).wait",
+                tid,
+                _site(),
+                exclude=frozenset({self._lock._key}),
+            )
+            det.on_release(self._lock._key, self._lock._name, tid)
+        depth = self._lock._depth.pop(tid, 1)
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            ok = sched.condition_wait(self._raw, self._key, timeout)
+        else:
+            ok = self._raw.wait(timeout)
+        self._lock._depth[tid] = depth
+        if det is not None:
+            det.on_acquire(self._lock._key, self._lock._name, tid, _site())
+        return ok
+
+    def notify(self, n: int = 1) -> None:
+        self._raw.notify(n)
+
+    def notify_all(self) -> None:
+        self._raw.notify_all()
+
+
+class TrackedEvent:
+    """Event feeding set -> wait happens-before edges."""
+
+    def __init__(self, name: str, detector: RaceDetector | None) -> None:
+        self._raw = threading.Event()
+        self._name = name
+        self._det = detector
+        self._key = id(self)
+
+    def is_set(self) -> bool:
+        return self._raw.is_set()
+
+    def set(self) -> None:
+        if self._det is not None:
+            self._det.on_event_set(self._key, threading.get_ident())
+        self._raw.set()
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            sched.event_set(self._key)
+
+    def clear(self) -> None:
+        self._raw.clear()
+
+    def wait(self, timeout: float | None = None) -> bool:
+        tid = threading.get_ident()
+        det = self._det
+        if det is not None and not self._raw.is_set():
+            det.on_blocking(f"Event({self._name}).wait", tid, _site())
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            ok = sched.event_wait(self._raw, self._key, timeout)
+        else:
+            ok = self._raw.wait(timeout)
+        if ok and det is not None:
+            det.on_event_wait_done(self._key, tid)
+        return ok
+
+
+class TrackedQueue:
+    """FIFO queue feeding put -> get happens-before edges."""
+
+    def __init__(
+        self,
+        name: str,
+        detector: RaceDetector | None,
+        maxsize: int = 0,
+    ) -> None:
+        self._raw: queue.Queue[Any] = queue.Queue(maxsize)
+        self._name = name
+        self._det = detector
+        self._key = id(self)
+
+    def put(
+        self, item: Any, block: bool = True, timeout: float | None = None
+    ) -> None:
+        tid = threading.get_ident()
+        det = self._det
+        if det is not None:
+            if block and self._raw.full():
+                det.on_blocking(f"Queue({self._name}).put", tid, _site())
+            # Publish the producer clock before the item is visible.
+            det.on_queue_put(self._key, tid)
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            sched.queue_put(self._raw, self._key, item, block, timeout)
+        else:
+            self._raw.put(item, block, timeout)
+
+    def get(self, block: bool = True, timeout: float | None = None) -> Any:
+        tid = threading.get_ident()
+        det = self._det
+        if det is not None and block and self._raw.empty():
+            det.on_blocking(f"Queue({self._name}).get", tid, _site())
+        sched = _scheduler
+        if sched is not None and sched.manages_current():
+            item = sched.queue_get(self._raw, self._key, block, timeout)
+        else:
+            item = self._raw.get(block, timeout)
+        if det is not None:
+            det.on_queue_get_done(self._key, tid)
+        return item
+
+    def qsize(self) -> int:
+        return self._raw.qsize()
+
+    def empty(self) -> bool:
+        return self._raw.empty()
+
+    def full(self) -> bool:
+        return self._raw.full()
+
+
+class TrackedThread(threading.Thread):
+    """Thread wrapper feeding spawn/body/join events and the scheduler."""
+
+    def __init__(
+        self,
+        target: Callable[..., object],
+        *,
+        name: str,
+        daemon: bool = False,
+        args: tuple[Any, ...] = (),
+        detector: RaceDetector | None,
+        scheduler: Scheduler | None,
+    ) -> None:
+        super().__init__(name=name, daemon=daemon)
+        self._races_target = target
+        self._races_args = args
+        self._det = detector
+        self._sched = scheduler
+        self._key = id(self)
+
+    def start(self) -> None:
+        if self._det is not None:
+            self._det.on_spawn(
+                self._key, self.name, threading.get_ident(), _site()
+            )
+        if self._sched is not None:
+            self._sched.thread_spawned(self, self._key, self.name)
+        super().start()
+
+    def run(self) -> None:
+        tid = threading.get_ident()
+        try:
+            if self._sched is not None:
+                self._sched.thread_body_begin(self._key)
+            if self._det is not None:
+                self._det.on_thread_body_start(self._key, tid)
+            self._races_target(*self._races_args)
+        except ScheduleAbort:
+            pass  # deadlocked schedule: exit quietly, run() cleans up
+        finally:
+            if self._det is not None:
+                self._det.on_thread_body_end(self._key, tid)
+            if self._sched is not None:
+                self._sched.thread_body_end(self._key)
+
+    def join(self, timeout: float | None = None) -> None:
+        sched = self._sched
+        if sched is not None and sched.manages_current():
+            sched.thread_join(self, self._key, timeout)
+        else:
+            super().join(timeout)
+        if self._det is not None and not self.is_alive():
+            self._det.on_join(self._key, threading.get_ident())
+
+
+# ---------------------------------------------------------------------
+# Factories (the only names the serve modules import)
+# ---------------------------------------------------------------------
+
+
+def _tracking() -> bool:
+    return _detector is not None or _scheduler is not None
+
+
+def make_lock(name: str) -> LockType | TrackedLock:
+    """A mutex: plain when not instrumented, tracked otherwise."""
+    if not _tracking():
+        return threading.Lock()
+    return TrackedLock(name, _detector, reentrant=False)
+
+
+def make_rlock(name: str) -> RLockType | TrackedLock:
+    """A reentrant mutex: plain when not instrumented, tracked otherwise."""
+    if not _tracking():
+        return threading.RLock()
+    return TrackedLock(name, _detector, reentrant=True)
+
+
+def make_condition(
+    lock: RawLock | TrackedLock, name: str
+) -> threading.Condition | TrackedCondition:
+    """A condition over ``lock`` (which :func:`make_lock` produced)."""
+    if isinstance(lock, TrackedLock):
+        return TrackedCondition(lock, name, lock._det)
+    return threading.Condition(lock)
+
+
+def make_event(name: str) -> threading.Event | TrackedEvent:
+    """An event: plain when not instrumented, tracked otherwise."""
+    if not _tracking():
+        return threading.Event()
+    return TrackedEvent(name, _detector)
+
+
+def make_queue(
+    name: str, maxsize: int = 0
+) -> queue.Queue[Any] | TrackedQueue:
+    """A FIFO queue: plain when not instrumented, tracked otherwise."""
+    if not _tracking():
+        return queue.Queue(maxsize)
+    return TrackedQueue(name, _detector, maxsize)
+
+
+def spawn_thread(
+    target: Callable[..., object],
+    *,
+    name: str,
+    daemon: bool = False,
+    args: tuple[Any, ...] = (),
+) -> threading.Thread:
+    """An **unstarted** thread; tracked when instrumentation is active.
+
+    Callers ``start()`` (and eventually ``join()``) it themselves; a
+    tracked thread that is never joined is a ``RACE005`` finding.
+    """
+    if not _tracking():
+        return threading.Thread(
+            target=target, name=name, daemon=daemon, args=args
+        )
+    return TrackedThread(
+        target,
+        name=name,
+        daemon=daemon,
+        args=args,
+        detector=_detector,
+        scheduler=_scheduler,
+    )

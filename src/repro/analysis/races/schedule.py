@@ -1,0 +1,534 @@
+"""Deterministic schedule exploration for instrumented thread programs.
+
+Two policies implement the shim's scheduler hook
+(:class:`repro.analysis.races.instrument.Scheduler`):
+
+* :class:`CooperativeScheduler` — CHESS-style serialization: every
+  managed thread runs only while holding the single runnable token,
+  blocking operations (lock acquire, event wait, queue put/get, join)
+  hand the token over explicitly, and a seeded RNG both picks the next
+  runnable thread and injects a bounded number of preemptions at
+  schedule points.  Same seed -> same total order of operations -> same
+  detector finding set, which is what lets the seeded-race fixtures
+  *provoke* each RACE00x code deterministically.  Timed waits resolve
+  virtually: when no thread is plain-runnable the scheduler wakes the
+  earliest-registered timed waiter as "timed out", so no schedule ever
+  spins against the real clock.  A schedule in which every live thread
+  is blocked and nothing is timed is a real deadlock: all threads are
+  aborted and :func:`run_schedule` raises :class:`DeadlockError`.
+  Condition variables are not supported under this policy (their
+  release-wait-reacquire cannot be serialized without cooperating with
+  the waiter's predicate); fixtures use locks/events/queues, and full
+  components like the broker run under the fuzzer below instead.
+
+* :class:`YieldFuzzer` — adversarial-but-live scheduling for whole
+  components: threads run freely on the OS scheduler, and a seeded RNG
+  injects short sleeps at synchronization points (lock acquire, event
+  wait, queue ops, spawn) to shake out interleavings the quiet path
+  never hits.  The differential serve suites assert bit-identical
+  responses under several fuzz seeds, turning the determinism contract
+  into an explored property.
+"""
+
+from __future__ import annotations
+
+import queue
+import random
+import threading
+import time
+from collections.abc import Callable, Sequence
+from typing import TYPE_CHECKING, Any
+
+from repro.analysis.races import instrument
+from repro.errors import ReproError
+
+if TYPE_CHECKING:
+    from _thread import LockType, RLock as RLockType
+
+    RawLock = LockType | RLockType
+
+__all__ = [
+    "CooperativeScheduler",
+    "DeadlockError",
+    "UnsupportedScheduleOp",
+    "YieldFuzzer",
+    "explore",
+    "run_schedule",
+]
+
+#: name + zero-argument body of one managed thread.
+ThreadSpec = tuple[str, Callable[[], None]]
+
+
+class DeadlockError(ReproError):
+    """Every live thread blocked with nothing timed: a real deadlock."""
+
+
+class UnsupportedScheduleOp(ReproError):
+    """The cooperative scheduler cannot serialize this primitive."""
+
+
+class CooperativeScheduler:
+    """One seeded, serialized schedule over managed threads.
+
+    Args:
+        seed: drives both next-thread choice and preemption injection.
+        max_preemptions: budget of forced context switches at schedule
+            points (CHESS-style preemption bounding); switches at
+            blocking operations are free.
+        preempt_probability: chance a schedule point spends one unit of
+            the preemption budget.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        max_preemptions: int = 2,
+        preempt_probability: float = 0.5,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._preemptions_left = max_preemptions
+        self._preempt_probability = preempt_probability
+        self._cv = threading.Condition(threading.Lock())
+        self._idents: dict[int, int] = {}
+        self._registration: dict[int, int] = {}
+        self._alive: set[int] = set()
+        self._runnable: list[int] = []
+        self._current: int | None = None
+        self._blocked_on: dict[int, object] = {}
+        self._timed: set[int] = set()
+        self._timeout_fired: set[int] = set()
+        self._begun = 0
+        self._poisoned = False
+        self._blocked_at_poison: list[str] = []
+        self._names: dict[int, str] = {}
+
+    # -- protocol: identity --------------------------------------------
+
+    def manages_current(self) -> bool:
+        return threading.get_ident() in self._idents
+
+    def thread_spawned(
+        self, thread: threading.Thread, key: int, name: str
+    ) -> None:
+        with self._cv:
+            self._registration[key] = len(self._registration)
+            self._names[key] = name
+
+    def thread_body_begin(self, key: int) -> None:
+        with self._cv:
+            self._idents[threading.get_ident()] = key
+            self._alive.add(key)
+            self._runnable.append(key)
+            self._begun += 1
+            self._cv.notify_all()
+            while self._current != key and not self._poisoned:
+                self._cv.wait()
+            if self._poisoned:
+                raise instrument.ScheduleAbort()
+
+    def thread_body_end(self, key: int) -> None:
+        with self._cv:
+            self._alive.discard(key)
+            self._idents.pop(threading.get_ident(), None)
+            self._wake(("join", key))
+            if self._current == key:
+                self._current = None
+                self._next()
+            self._cv.notify_all()
+
+    def thread_join(
+        self, thread: threading.Thread, key: int, timeout: float | None
+    ) -> None:
+        with self._cv:
+            while key in self._alive:
+                if self._block(("join", key), timed=timeout is not None):
+                    return
+        # The body has ended; the OS thread only has run()'s epilogue
+        # left, so a real join converges immediately.
+        threading.Thread.join(thread, timeout)
+
+    # -- protocol: schedule points -------------------------------------
+
+    def schedule_point(self, kind: str, detail: str) -> None:
+        with self._cv:
+            self._maybe_preempt()
+
+    # -- protocol: locks -----------------------------------------------
+
+    def acquire_lock(
+        self, raw: RawLock, key: int, blocking: bool, timeout: float
+    ) -> bool:
+        with self._cv:
+            if self._poisoned:
+                raise instrument.ScheduleAbort()
+            self._maybe_preempt()
+            while True:
+                if raw.acquire(False):
+                    return True
+                if not blocking:
+                    return False
+                if self._block(("lock", key), timed=timeout >= 0):
+                    return False
+
+    def lock_released(self, key: int) -> None:
+        with self._cv:
+            self._wake(("lock", key))
+
+    # -- protocol: events ----------------------------------------------
+
+    def event_wait(
+        self, raw: threading.Event, key: int, timeout: float | None
+    ) -> bool:
+        with self._cv:
+            if self._poisoned:
+                raise instrument.ScheduleAbort()
+            while True:
+                if raw.is_set():
+                    return True
+                if self._block(("event", key), timed=timeout is not None):
+                    return raw.is_set()
+
+    def event_set(self, key: int) -> None:
+        with self._cv:
+            self._wake(("event", key))
+
+    # -- protocol: conditions ------------------------------------------
+
+    def condition_wait(
+        self, raw: threading.Condition, key: int, timeout: float | None
+    ) -> bool:
+        raise UnsupportedScheduleOp(
+            "condition variables cannot run under the cooperative "
+            "scheduler; use events/queues in fixtures, or the "
+            "YieldFuzzer for full components"
+        )
+
+    # -- protocol: queues ----------------------------------------------
+
+    def queue_put(
+        self,
+        raw: queue.Queue[Any],
+        key: int,
+        item: Any,
+        block: bool,
+        timeout: float | None,
+    ) -> None:
+        with self._cv:
+            if self._poisoned:
+                raise instrument.ScheduleAbort()
+            self._maybe_preempt()
+            while True:
+                try:
+                    raw.put_nowait(item)
+                except queue.Full:
+                    if not block:
+                        raise
+                    if self._block(("qput", key), timed=timeout is not None):
+                        raise queue.Full from None
+                    continue
+                self._wake(("qget", key))
+                return
+
+    def queue_get(
+        self,
+        raw: queue.Queue[Any],
+        key: int,
+        block: bool,
+        timeout: float | None,
+    ) -> Any:
+        with self._cv:
+            if self._poisoned:
+                raise instrument.ScheduleAbort()
+            self._maybe_preempt()
+            while True:
+                try:
+                    item = raw.get_nowait()
+                except queue.Empty:
+                    if not block:
+                        raise
+                    if self._block(("qget", key), timed=timeout is not None):
+                        raise queue.Empty from None
+                    continue
+                self._wake(("qput", key))
+                return item
+
+    # -- driver API ----------------------------------------------------
+
+    def begin(self, expected: int) -> None:
+        """Wait for ``expected`` bodies to register, grant the token."""
+        with self._cv:
+            while self._begun < expected:
+                self._cv.wait()
+            self._next()
+
+    def finish(self) -> None:
+        """Raise :class:`DeadlockError` if the schedule deadlocked."""
+        with self._cv:
+            if self._poisoned:
+                blocked = ", ".join(self._blocked_at_poison)
+                raise DeadlockError(
+                    f"cooperative schedule deadlocked: every live thread "
+                    f"blocked ({blocked}) with no timed waiter"
+                )
+
+    # -- internals (self._cv held) -------------------------------------
+
+    def _require_current(self) -> int:
+        return self._idents[threading.get_ident()]
+
+    def _order_key(self, key: int) -> int:
+        return self._registration.get(key, len(self._registration))
+
+    def _next(self) -> None:
+        """Grant the token: runnable first, then virtual timeouts."""
+        if self._runnable:
+            self._runnable.sort(key=self._order_key)
+            pick = self._runnable.pop(
+                self._rng.randrange(len(self._runnable))
+            )
+            self._current = pick
+            self._cv.notify_all()
+            return
+        if self._timed:
+            pick = min(self._timed, key=self._order_key)
+            self._timed.discard(pick)
+            self._timeout_fired.add(pick)
+            self._blocked_on.pop(pick, None)
+            self._current = pick
+            self._cv.notify_all()
+            return
+        if self._alive:
+            self._blocked_at_poison = [
+                f"{self._names.get(key, key)} on {resource!r}"
+                for key, resource in sorted(
+                    self._blocked_on.items(),
+                    key=lambda kv: self._order_key(kv[0]),
+                )
+            ]
+            self._poisoned = True
+            self._cv.notify_all()
+            return
+        self._current = None
+
+    def _wake(self, resource: object) -> None:
+        for key, blocked in list(self._blocked_on.items()):
+            if blocked == resource:
+                del self._blocked_on[key]
+                self._timed.discard(key)
+                self._runnable.append(key)
+
+    def _block(self, resource: object, *, timed: bool) -> bool:
+        """Hand the token off until woken; True if woken by timeout."""
+        me = self._require_current()
+        self._blocked_on[me] = resource
+        if timed:
+            self._timed.add(me)
+        self._current = None
+        self._next()
+        while self._current != me and not self._poisoned:
+            self._cv.wait()
+        self._timed.discard(me)
+        self._blocked_on.pop(me, None)
+        if self._poisoned:
+            raise instrument.ScheduleAbort()
+        fired = me in self._timeout_fired
+        self._timeout_fired.discard(me)
+        return fired
+
+    def _maybe_preempt(self) -> None:
+        if self._poisoned:
+            raise instrument.ScheduleAbort()
+        if self._preemptions_left <= 0 or not self._runnable:
+            return
+        if self._rng.random() >= self._preempt_probability:
+            return
+        self._preemptions_left -= 1
+        me = self._require_current()
+        self._runnable.append(me)
+        self._current = None
+        self._next()
+        while self._current != me and not self._poisoned:
+            self._cv.wait()
+        if self._poisoned:
+            raise instrument.ScheduleAbort()
+
+
+class YieldFuzzer:
+    """Seeded sleep injection at synchronization points (live threads).
+
+    Unlike the cooperative scheduler this never takes ownership of the
+    schedule — it only perturbs it, so any component (including ones
+    using condition variables and timed waits) stays fully functional
+    while its interleavings are shaken.
+
+    Args:
+        seed: drives which points inject a delay.
+        probability: per-point chance of injecting.
+        max_injections: total delay budget (bounds added wall time).
+        sleep_seconds: injected delay; 0 still forces an OS yield.
+    """
+
+    def __init__(
+        self,
+        *,
+        seed: int = 0,
+        probability: float = 0.25,
+        max_injections: int = 200,
+        sleep_seconds: float = 0.0005,
+    ) -> None:
+        self._rng = random.Random(seed)
+        self._probability = probability
+        self._left = max_injections
+        self._sleep_seconds = sleep_seconds
+        self._mu = threading.Lock()
+        self.injected = 0
+
+    def _jitter(self) -> None:
+        with self._mu:
+            if self._left <= 0:
+                return
+            if self._rng.random() >= self._probability:
+                return
+            self._left -= 1
+            self.injected += 1
+            delay = self._sleep_seconds
+        time.sleep(delay)
+
+    # -- protocol ------------------------------------------------------
+
+    def manages_current(self) -> bool:
+        return True
+
+    def schedule_point(self, kind: str, detail: str) -> None:
+        self._jitter()
+
+    def thread_spawned(
+        self, thread: threading.Thread, key: int, name: str
+    ) -> None:
+        self._jitter()
+
+    def thread_body_begin(self, key: int) -> None:
+        self._jitter()
+
+    def thread_body_end(self, key: int) -> None:
+        pass
+
+    def thread_join(
+        self, thread: threading.Thread, key: int, timeout: float | None
+    ) -> None:
+        threading.Thread.join(thread, timeout)
+
+    def acquire_lock(
+        self, raw: RawLock, key: int, blocking: bool, timeout: float
+    ) -> bool:
+        self._jitter()
+        return raw.acquire(blocking, timeout)
+
+    def lock_released(self, key: int) -> None:
+        pass
+
+    def event_wait(
+        self, raw: threading.Event, key: int, timeout: float | None
+    ) -> bool:
+        self._jitter()
+        return raw.wait(timeout)
+
+    def event_set(self, key: int) -> None:
+        pass
+
+    def condition_wait(
+        self, raw: threading.Condition, key: int, timeout: float | None
+    ) -> bool:
+        self._jitter()
+        return raw.wait(timeout)
+
+    def queue_put(
+        self,
+        raw: queue.Queue[Any],
+        key: int,
+        item: Any,
+        block: bool,
+        timeout: float | None,
+    ) -> None:
+        self._jitter()
+        raw.put(item, block, timeout)
+
+    def queue_get(
+        self,
+        raw: queue.Queue[Any],
+        key: int,
+        block: bool,
+        timeout: float | None,
+    ) -> Any:
+        self._jitter()
+        return raw.get(block, timeout)
+
+
+def run_schedule(
+    specs: Sequence[ThreadSpec],
+    *,
+    seed: int = 0,
+    max_preemptions: int = 2,
+    preempt_probability: float = 0.5,
+) -> CooperativeScheduler:
+    """Run thread bodies under one seeded cooperative schedule.
+
+    Threads are spawned through the instrumentation shim, so an active
+    detector sees every synchronization edge; bodies aborted by a
+    deadlock are cleaned up and :class:`DeadlockError` is raised after
+    every OS thread has exited.  Returns the scheduler (for inspecting
+    preemption spend in tests).
+    """
+    scheduler = CooperativeScheduler(
+        seed=seed,
+        max_preemptions=max_preemptions,
+        preempt_probability=preempt_probability,
+    )
+    previous = instrument.active_scheduler()
+    instrument.set_scheduler(scheduler)
+    try:
+        threads = [
+            instrument.spawn_thread(body, name=name)
+            for name, body in specs
+        ]
+        for thread in threads:
+            thread.start()
+        scheduler.begin(len(threads))
+        for thread in threads:
+            thread.join()
+        scheduler.finish()
+    finally:
+        instrument.set_scheduler(previous)
+    return scheduler
+
+
+def explore(
+    build: Callable[[], Sequence[ThreadSpec]],
+    *,
+    schedules: int = 8,
+    seed: int = 0,
+    max_preemptions: int = 2,
+    skip_deadlocks: bool = False,
+) -> list[int]:
+    """Replay ``build()``'s threads under ``schedules`` derived seeds.
+
+    ``build`` is called once per schedule so every replay starts from
+    fresh state.  Returns the seeds actually run (for replaying one in
+    isolation); deadlocked schedules raise unless ``skip_deadlocks``.
+    """
+    seeds: list[int] = []
+    for index in range(schedules):
+        schedule_seed = seed * 10_000 + index
+        try:
+            run_schedule(
+                build(),
+                seed=schedule_seed,
+                max_preemptions=max_preemptions,
+            )
+        except DeadlockError:
+            if not skip_deadlocks:
+                raise
+        seeds.append(schedule_seed)
+    return seeds

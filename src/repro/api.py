@@ -297,6 +297,7 @@ def serve(
     max_retries: int = 1,
     profile: TunedProfile | str | None = "auto",
     metrics: MetricsRegistry | None = None,
+    race_check: bool = False,
 ) -> QueryBroker:
     """Start a single micro-batching query broker (a context manager).
 
@@ -308,6 +309,13 @@ def serve(
     matching one of the graphs (by content fingerprint) supplies the
     batching knobs and scheduler tile floor for any parameter left
     unset; explicit arguments always win (see :func:`tune`).
+
+    ``race_check=True`` runs the broker under the concurrency sanitizer
+    (:mod:`repro.analysis.races`): every lock, condition and worker
+    thread it creates is tracked by a happens-before detector whose
+    report is finalized at ``close()`` and exposed as
+    ``broker.race_detector``.  Gated metrics are bit-identical either
+    way; only ``races.*`` counters are added.
     """
     if isinstance(graphs, CSRGraph):
         graphs = {"default": graphs}
@@ -333,6 +341,7 @@ def serve(
         num_gpus=num_gpus,
         max_retries=max_retries,
         metrics=metrics,
+        race_check=race_check,
         _internal=True,
     )
 
@@ -353,6 +362,7 @@ def cluster(
     admission: AdmissionConfig | None = None,
     profile: TunedProfile | str | None = "auto",
     metrics: MetricsRegistry | None = None,
+    race_check: bool = False,
 ) -> ClusterPool:
     """Start a sharded replica pool (a context manager).
 
@@ -366,6 +376,10 @@ def cluster(
     matching one of the graphs (by content fingerprint) supplies the
     batching, routing, admission and tile-floor knobs for any parameter
     left unset; explicit arguments always win (see :func:`tune`).
+
+    ``race_check=True`` runs the whole pool — replicas, cache, admission
+    and graph store — under the concurrency sanitizer; the finalized
+    report is exposed as ``pool.race_detector`` after ``close()``.
     """
     if isinstance(graphs, CSRGraph):
         graphs = {"default": graphs}
@@ -399,6 +413,7 @@ def cluster(
         cache_capacity=cache_capacity,
         admission=admission,
         metrics=metrics,
+        race_check=race_check,
     )
 
 

@@ -20,8 +20,11 @@ Subcommands:
 
 ``run``, ``serve-bench``, ``cluster-bench`` and ``tune`` share one flag
 family (``--emit-metrics``, ``--sanitize``, ``--sanitize-report``,
-``--seed``) via a common parent parser, so observability and
-determinism knobs are spelled identically everywhere.
+``--race-check``, ``--race-report``, ``--seed``) via a common parent
+parser, so observability and determinism knobs are spelled identically
+everywhere.  ``--race-check`` runs the whole command under the
+concurrency sanitizer (:mod:`repro.analysis.races`) and exits 3 on
+findings, mirroring ``--sanitize``.
 """
 
 from __future__ import annotations
@@ -119,6 +122,12 @@ def _common_flags() -> argparse.ArgumentParser:
     parent.add_argument("--sanitize-report", metavar="PATH", default=None,
                         help="write the sanitizer findings JSON here "
                              "(implies --sanitize)")
+    parent.add_argument("--race-check", action="store_true",
+                        help="audit the command with the concurrency "
+                             "sanitizer (exit code 3 on findings)")
+    parent.add_argument("--race-report", metavar="PATH", default=None,
+                        help="write the race findings JSON here "
+                             "(implies --race-check)")
     parent.add_argument("--seed", type=int, default=None,
                         help="seed for randomized choices (sources, "
                              "query mixes, arrival schedules)")
@@ -737,7 +746,33 @@ def build_parser() -> argparse.ArgumentParser:
 
 def main(argv: list[str] | None = None) -> int:
     args = build_parser().parse_args(argv)
-    return args.fn(args)
+    race_check = bool(
+        getattr(args, "race_check", False)
+        or getattr(args, "race_report", None) is not None
+    )
+    if not race_check:
+        return args.fn(args)
+    # One detector spans the whole command: every lock, queue and
+    # thread the serving stack creates underneath is tracked, and the
+    # happens-before report prints after the command's own output.
+    from repro.analysis.races import RaceDetector
+    from repro.analysis.races import instrument as races_instrument
+
+    detector = RaceDetector()
+    races_instrument.activate(detector)
+    try:
+        code = int(args.fn(args))
+    finally:
+        races_instrument.deactivate()
+        detector.finalize()
+    for line in detector.format_summary().splitlines():
+        print(line)
+    if args.race_report is not None:
+        detector.write_json(args.race_report)
+        print(f"  race report written to {args.race_report}")
+    if code == 0 and not detector.clean:
+        return 3
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover - exercised via main()

@@ -117,6 +117,23 @@ SANITIZER_COUNTERS: frozenset[str] = frozenset(
     }
 )
 
+#: Counters emitted by the concurrency sanitizer
+#: (``repro.analysis.races``): one per finding kind plus bookkeeping.
+RACES_COUNTERS: frozenset[str] = frozenset(
+    {
+        "races.findings",
+        "races.threads_tracked",
+        "races.locks_tracked",
+        "races.acquires",
+        "races.accesses_checked",
+        "races.write_write_race",
+        "races.read_write_race",
+        "races.lock_order_inversion",
+        "races.blocking_while_holding",
+        "races.unjoined_thread",
+    }
+)
+
 #: Counters emitted by the batched query service (``repro.serve``).
 SERVE_COUNTERS: frozenset[str] = frozenset(
     {
@@ -185,6 +202,7 @@ COUNTERS: frozenset[str] = (
     | OOC_COUNTERS
     | MULTIGPU_COUNTERS
     | SANITIZER_COUNTERS
+    | RACES_COUNTERS
     | SERVE_COUNTERS
     | CLUSTER_COUNTERS
     | API_COUNTERS

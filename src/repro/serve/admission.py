@@ -23,9 +23,9 @@ clock) and the virtual-time simulator (deterministic) share one policy.
 from __future__ import annotations
 
 import enum
-import threading
 from dataclasses import dataclass, field
 
+from repro.analysis.races import instrument as races
 from repro.errors import InvalidParameterError
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 
@@ -152,6 +152,13 @@ class AdmissionController:
     (threads vs. virtual time).
     """
 
+    _guarded_by = {
+        "_buckets": "_lock",
+        "admitted": "_lock",
+        "throttled": "_lock",
+        "overloaded": "_lock",
+    }
+
     def __init__(
         self,
         config: AdmissionConfig | None = None,
@@ -167,12 +174,13 @@ class AdmissionController:
             recovery=self.config.recovery,
         )
         self._buckets: dict[str, TokenBucket] = {}
-        self._lock = threading.Lock()
+        self._lock = races.make_lock("admission.lock")
         self.admitted = 0
         self.throttled = 0
         self.overloaded = 0
 
-    def _bucket(self, client: str) -> TokenBucket | None:
+    def _bucket_locked(self, client: str) -> TokenBucket | None:
+        """The client's bucket (created lazily).  Caller holds ``_lock``."""
         if client in self._buckets:
             return self._buckets[client]
         if client in self.config.class_rates:
@@ -190,7 +198,9 @@ class AdmissionController:
     ) -> AdmissionDecision:
         """Decide one arrival.  Does not mutate outstanding counts."""
         with self._lock:
-            bucket = self._bucket(client)
+            races.note_write(self, "_buckets")
+            races.note_write(self.limiter, "_limit")
+            bucket = self._bucket_locked(client)
             if bucket is not None and not bucket.try_acquire(now):
                 self.throttled += 1
                 self.metrics.count("cluster.throttled")
@@ -206,19 +216,23 @@ class AdmissionController:
 
     def on_success(self) -> None:
         with self._lock:
+            races.note_write(self.limiter, "_limit")
             self.limiter.on_success()
 
     def on_overload(self) -> None:
         """Report a downstream pressure signal (shed / deadline miss)."""
         with self._lock:
+            races.note_write(self.limiter, "_limit")
             self.limiter.on_overload()
 
     @property
     def throttle_level(self) -> float:
         with self._lock:
+            races.note_read(self.limiter, "_limit")
             return self.limiter.throttle_level
 
     @property
     def concurrency_limit(self) -> int:
         with self._lock:
+            races.note_read(self.limiter, "_limit")
             return self.limiter.limit

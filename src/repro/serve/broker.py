@@ -26,7 +26,6 @@ the ``serve.*`` names registered in :mod:`repro.obs.names`.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections import deque
 from collections.abc import Callable, Mapping
@@ -34,6 +33,8 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.races import RaceDetector
+from repro.analysis.races import instrument as races
 from repro.core.scheduler import Scheduler
 from repro.deprecation import warn_once
 from repro.errors import (
@@ -53,13 +54,18 @@ from repro.serve.request import QueryRequest, QueryResponse, QueryStatus
 class PendingQuery:
     """Future handed back by :meth:`QueryBroker.submit`."""
 
+    _guarded_by = {
+        "_response": "_callback_lock",
+        "_callbacks": "_callback_lock",
+    }
+
     def __init__(self, request_id: int, request: QueryRequest) -> None:
         self.request_id = request_id
         self.request = request
-        self._event = threading.Event()
+        self._event = races.make_event("pending.event")
         self._response: QueryResponse | None = None
         self._callbacks: list[Callable[[QueryResponse], None]] = []
-        self._callback_lock = threading.Lock()
+        self._callback_lock = races.make_lock("pending.callback")
 
     def done(self) -> bool:
         return self._event.is_set()
@@ -70,8 +76,12 @@ class PendingQuery:
             raise TimeoutError(
                 f"query {self.request_id} still pending after {timeout}s"
             )
-        assert self._response is not None
-        return self._response
+        races.note_read(self, "_response")
+        # Published before the event was set, so the lock-free read is
+        # ordered by the event wait above.
+        response = self._response  # sage: allow(SAGE006)
+        assert response is not None
+        return response
 
     def add_done_callback(
         self, callback: Callable[[QueryResponse], None]
@@ -86,11 +96,14 @@ class PendingQuery:
             if not self._event.is_set():
                 self._callbacks.append(callback)
                 return
-        assert self._response is not None
-        callback(self._response)
+            races.note_read(self, "_response")
+            response = self._response
+        assert response is not None
+        callback(response)
 
     def _resolve(self, response: QueryResponse) -> None:
         with self._callback_lock:
+            races.note_write(self, "_response")
             self._response = response
             self._event.set()
             callbacks = list(self._callbacks)
@@ -136,6 +149,15 @@ class BrokerStats:
 class QueryBroker:
     """Bounded-queue, micro-batching broker over a worker pool."""
 
+    _guarded_by = {
+        "_queue": ("_lock", "_cond"),
+        "_closed": ("_lock", "_cond"),
+        "_inflight": ("_lock", "_cond"),
+        "_next_request_id": ("_lock", "_cond"),
+        "_next_batch_id": ("_lock", "_cond"),
+        "graphs": ("_lock", "_cond"),
+    }
+
     def __init__(
         self,
         graphs: Mapping[str, CSRGraph],
@@ -150,6 +172,7 @@ class QueryBroker:
         executor: BatchExecutor | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        race_check: bool = False,
         _internal: bool = False,
     ) -> None:
         if not _internal:
@@ -176,6 +199,18 @@ class QueryBroker:
         self.queue_capacity = int(queue_capacity)
         self.max_retries = int(max_retries)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # Activate before any lock or worker is created so the whole
+        # broker lifetime is tracked.  If a detector is already active
+        # (an enclosing ``instrumented`` block or pytest fixture), join
+        # it instead of owning a second one.
+        self.race_detector: RaceDetector | None = None
+        self._owns_race_detector = False
+        if race_check:
+            self.race_detector = races.active_detector()
+            if self.race_detector is None:
+                self.race_detector = RaceDetector(metrics=self.metrics)
+                races.activate(self.race_detector)
+                self._owns_race_detector = True
         self.executor = executor or BatchExecutor(
             scheduler_factory, num_gpus=num_gpus, metrics=self.metrics
         )
@@ -183,8 +218,8 @@ class QueryBroker:
         self._queue: deque[_Entry] = deque()
         # Reentrant: _finalize (which appends to stats under the lock)
         # is reachable from submit/close while the condition is held.
-        self._lock = threading.RLock()
-        self._cond = threading.Condition(self._lock)
+        self._lock = races.make_rlock("broker.lock")
+        self._cond = races.make_condition(self._lock, "broker.cond")
         self._closed = False
         self._inflight = 0
         self._next_request_id = 0
@@ -198,9 +233,8 @@ class QueryBroker:
         )
         self._run_span.__enter__()
         self._workers = [
-            threading.Thread(
-                target=self._worker_loop, name=f"serve-worker-{i}",
-                daemon=True,
+            races.spawn_thread(
+                self._worker_loop, name=f"serve-worker-{i}", daemon=True
             )
             for i in range(self.num_workers)
         ]
@@ -213,10 +247,14 @@ class QueryBroker:
 
     def submit(self, request: QueryRequest) -> PendingQuery:
         """Admit (or shed) one query; never blocks on execution."""
-        if request.graph not in self.graphs:
+        with self._lock:
+            races.note_read(self, "graphs")
+            known = request.graph in self.graphs
+            registered = sorted(self.graphs) if not known else []
+        if not known:
             raise InvalidParameterError(
                 f"unknown graph handle {request.graph!r}; "
-                f"registered: {sorted(self.graphs)}"
+                f"registered: {registered}"
             )
         self.metrics.count("serve.requests")
         now = self._clock()
@@ -253,6 +291,7 @@ class QueryBroker:
             self.metrics.count("serve.accepted")
             depth = len(self._queue)
             if depth > self.stats.queue_depth_peak:
+                races.note_write(self.stats, "queue_depth_peak")
                 self.stats.queue_depth_peak = depth
             self._cond.notify_all()
         return pending
@@ -261,6 +300,17 @@ class QueryBroker:
         self, requests: list[QueryRequest]
     ) -> list[PendingQuery]:
         return [self.submit(request) for request in requests]
+
+    def update_graph(self, handle: str, graph: CSRGraph) -> None:
+        """Swap in a fresh snapshot for ``handle``.
+
+        The cluster tier's graph-update fanout: later batches execute
+        against the new snapshot, in-flight batches keep the one they
+        grabbed (under the same lock) at dispatch.
+        """
+        with self._lock:
+            races.note_write(self, "graphs")
+            self.graphs[handle] = graph
 
     # ------------------------------------------------------------------
     # Worker side
@@ -334,11 +384,17 @@ class QueryBroker:
                 live.append(entry)
         if not live:
             return
-        graph = self.graphs[live[0].request.graph]
+        with self._lock:
+            # Snapshot under the lock: a cluster-tier graph swap
+            # (GraphStore.update) may land concurrently, and list
+            # appends on the stats aggregate come from every worker.
+            races.note_read(self, "graphs")
+            graph = self.graphs[live[0].request.graph]
+            races.note_write(self.stats, "batch_sizes")
+            self.stats.batch_sizes.append(len(live))
         requests = [entry.request for entry in live]
         self.metrics.count("serve.batches")
         self.metrics.count("serve.batched_queries", len(live))
-        self.stats.batch_sizes.append(len(live))
         with self.metrics.span(
             "serve.batch", batch_id=batch_id,
             app=requests[0].app, graph=requests[0].graph, size=len(live),
@@ -432,6 +488,7 @@ class QueryBroker:
     ) -> None:
         self.metrics.count("serve.responses")
         with self._lock:
+            races.note_write(self.stats, "latencies")
             self.stats.latencies.append(latency)
         with self.metrics.span(
             "serve.request", request_id=response.request_id,
@@ -473,9 +530,19 @@ class QueryBroker:
         self._publish_gauges()
         self._run_span.set("responses", len(self.stats.latencies))
         self._run_span.__exit__(None, None, None)
+        if self._owns_race_detector:
+            self._owns_race_detector = False
+            races.deactivate()
+            assert self.race_detector is not None
+            self.race_detector.finalize()
 
     def _publish_gauges(self) -> None:
         elapsed = max(self._clock() - self._start_time, 1e-12)
+        # Lock-free reads: every worker has been joined by close(), so
+        # their writes happen-before this fold.
+        races.note_read(self.stats, "queue_depth_peak")
+        races.note_read(self.stats, "batch_sizes")
+        races.note_read(self.stats, "latencies")
         self.metrics.set_gauge(
             "serve.queue_depth_peak", float(self.stats.queue_depth_peak)
         )

@@ -21,13 +21,13 @@ snapshots out to subscribers (the replica brokers).
 from __future__ import annotations
 
 import hashlib
-import threading
 from collections import OrderedDict
 from collections.abc import Callable, Mapping
 from typing import Any
 
 import numpy as np
 
+from repro.analysis.races import instrument as races
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.graph.dynamic import DynamicGraph
@@ -74,6 +74,14 @@ class ResultCache:
     threaded cluster pool and the virtual-time simulator share it.
     """
 
+    _guarded_by = {
+        "_entries": "_lock",
+        "hits": "_lock",
+        "misses": "_lock",
+        "evictions": "_lock",
+        "invalidations": "_lock",
+    }
+
     def __init__(
         self,
         capacity: int = 1024,
@@ -84,7 +92,7 @@ class ResultCache:
             raise InvalidParameterError("capacity must be >= 0")
         self.capacity = int(capacity)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
-        self._lock = threading.Lock()
+        self._lock = races.make_lock("cache.lock")
         self._entries: OrderedDict[CacheKey, dict[str, np.ndarray]] = (
             OrderedDict()
         )
@@ -94,12 +102,17 @@ class ResultCache:
         self.invalidations = 0
 
     def __len__(self) -> int:
-        return len(self._entries)
+        with self._lock:
+            races.note_read(self, "_entries")
+            return len(self._entries)
 
     @property
     def hit_ratio(self) -> float:
-        total = self.hits + self.misses
-        return self.hits / total if total else 0.0
+        with self._lock:
+            races.note_read(self, "hits")
+            races.note_read(self, "misses")
+            total = self.hits + self.misses
+            return self.hits / total if total else 0.0
 
     @staticmethod
     def _copy(result: Mapping[str, np.ndarray]) -> dict[str, np.ndarray]:
@@ -108,6 +121,7 @@ class ResultCache:
     def get(self, key: CacheKey) -> dict[str, np.ndarray] | None:
         """A fresh copy of the cached result, or ``None`` on a miss."""
         with self._lock:
+            races.note_write(self, "_entries")
             entry = self._entries.get(key)
             if entry is None:
                 self.misses += 1
@@ -123,6 +137,7 @@ class ResultCache:
         if self.capacity == 0:
             return
         with self._lock:
+            races.note_write(self, "_entries")
             self._entries[key] = self._copy(result)
             self._entries.move_to_end(key)
             while len(self._entries) > self.capacity:
@@ -139,6 +154,7 @@ class ResultCache:
         waiting for LRU pressure.
         """
         with self._lock:
+            races.note_write(self, "_entries")
             stale = [
                 key
                 for key in self._entries
@@ -155,6 +171,7 @@ class ResultCache:
 
     def clear(self) -> None:
         with self._lock:
+            races.note_write(self, "_entries")
             self._entries.clear()
 
 
@@ -168,12 +185,19 @@ class GraphStore:
     pool uses it to swap fresh snapshots into its replica brokers.
     """
 
+    _guarded_by = {
+        "_current": "_lock",
+        "_epochs": "_lock",
+        "_fingerprints": "_lock",
+        "_subscribers": "_lock",
+    }
+
     def __init__(
         self, graphs: Mapping[str, CSRGraph | DynamicGraph]
     ) -> None:
         if not graphs:
             raise InvalidParameterError("at least one graph is required")
-        self._lock = threading.Lock()
+        self._lock = races.make_lock("store.lock")
         self._dynamic: dict[str, DynamicGraph] = {}
         self._current: dict[str, CSRGraph] = {}
         self._epochs: dict[str, int] = {}
@@ -194,20 +218,30 @@ class GraphStore:
 
     @property
     def handles(self) -> list[str]:
-        return sorted(self._current)
+        with self._lock:
+            races.note_read(self, "_current")
+            return sorted(self._current)
 
     def subscribe(
         self, callback: Callable[[str, CSRGraph, int], None]
     ) -> None:
-        self._subscribers.append(callback)
+        with self._lock:
+            races.note_write(self, "_subscribers")
+            self._subscribers.append(callback)
 
     def _on_update(self, handle: str, csr: CSRGraph) -> None:
         with self._lock:
+            races.note_write(self, "_current")
             self._current[handle] = csr
             self._epochs[handle] += 1
             self._fingerprints[handle] = graph_fingerprint(csr)
             epoch = self._epochs[handle]
-        for callback in self._subscribers:
+            races.note_read(self, "_subscribers")
+            subscribers = list(self._subscribers)
+        # Fan out with the lock dropped: subscribers take their own
+        # locks (the replica brokers'), and holding ours across the
+        # callback would order store.lock -> broker.lock.
+        for callback in subscribers:
             callback(handle, csr, epoch)
 
     def refresh(self, handle: str) -> None:
@@ -243,18 +277,21 @@ class GraphStore:
         self._check(handle)
         self.refresh(handle)
         with self._lock:
+            races.note_read(self, "_current")
             return self._current[handle]
 
     def epoch(self, handle: str) -> int:
         self._check(handle)
         self.refresh(handle)
         with self._lock:
+            races.note_read(self, "_epochs")
             return self._epochs[handle]
 
     def fingerprint(self, handle: str) -> str:
         self._check(handle)
         self.refresh(handle)
         with self._lock:
+            races.note_read(self, "_fingerprints")
             return self._fingerprints[handle]
 
     def key_for(self, request: QueryRequest) -> CacheKey:
@@ -262,6 +299,8 @@ class GraphStore:
         self._check(request.graph)
         self.refresh(request.graph)
         with self._lock:
+            races.note_read(self, "_epochs")
+            races.note_read(self, "_fingerprints")
             return result_cache_key(
                 request,
                 self._epochs[request.graph],
@@ -273,11 +312,16 @@ class GraphStore:
         for handle in self._dynamic:
             self.refresh(handle)
         with self._lock:
+            races.note_read(self, "_current")
             return dict(self._current)
 
     def _check(self, handle: str) -> None:
-        if handle not in self._current:
+        with self._lock:
+            races.note_read(self, "_current")
+            known = handle in self._current
+            registered = sorted(self._current) if not known else []
+        if not known:
             raise InvalidParameterError(
                 f"unknown graph handle {handle!r}; "
-                f"registered: {self.handles}"
+                f"registered: {registered}"
             )

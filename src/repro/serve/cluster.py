@@ -31,7 +31,6 @@ from __future__ import annotations
 import hashlib
 import heapq
 import itertools
-import threading
 import time
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
@@ -39,6 +38,8 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.races import RaceDetector
+from repro.analysis.races import instrument as races
 from repro.core.scheduler import Scheduler
 from repro.errors import AdmissionError, InvalidParameterError, ThrottledError
 from repro.graph.csr import CSRGraph
@@ -775,6 +776,12 @@ class ClusterPool:
     replica and invalidate the cache atomically with the epoch bump.
     """
 
+    _guarded_by = {
+        "_outstanding": "_lock",
+        "_per_replica": "_lock",
+        "graph_updates": "_lock",
+    }
+
     def __init__(
         self,
         graphs: Mapping[str, CSRGraph | DynamicGraph] | GraphStore,
@@ -792,11 +799,23 @@ class ClusterPool:
         admission: AdmissionConfig | None = None,
         metrics: MetricsRegistry | None = None,
         clock: Callable[[], float] = time.monotonic,
+        race_check: bool = False,
     ) -> None:
         if num_replicas < 1:
             raise InvalidParameterError("num_replicas must be >= 1")
         self.num_replicas = int(num_replicas)
         self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        # Activate before any lock, cache or replica exists so the whole
+        # pool lifetime is tracked; join an already-active detector
+        # rather than owning a second one.
+        self.race_detector: RaceDetector | None = None
+        self._owns_race_detector = False
+        if race_check:
+            self.race_detector = races.active_detector()
+            if self.race_detector is None:
+                self.race_detector = RaceDetector(metrics=self.metrics)
+                races.activate(self.race_detector)
+                self._owns_race_detector = True
         self.store = (
             graphs if isinstance(graphs, GraphStore) else GraphStore(graphs)
         )
@@ -805,7 +824,7 @@ class ClusterPool:
         self.router = Router(routing, num_replicas)
         self.routing = routing
         self._clock = clock
-        self._lock = threading.Lock()
+        self._lock = races.make_lock("cluster.lock")
         self._outstanding = 0
         self._per_replica = [0] * num_replicas
         self._local_ids = itertools.count()
@@ -840,6 +859,7 @@ class ClusterPool:
         self.metrics.count("cluster.requests")
         now = self._clock()
         with self._lock:
+            races.note_read(self, "_outstanding")
             decision = self.admission.check(now, self._outstanding, client)
         if decision is AdmissionDecision.THROTTLED:
             return self._resolved_shed(
@@ -869,6 +889,8 @@ class ClusterPool:
             ))
             return pending
         with self._lock:
+            races.note_write(self, "_outstanding")
+            races.note_write(self, "_per_replica")
             replica = self.router.route(request, self._per_replica)
             self._outstanding += 1
             self._per_replica[replica] += 1
@@ -909,6 +931,8 @@ class ClusterPool:
         response: QueryResponse,
     ) -> None:
         with self._lock:
+            races.note_write(self, "_outstanding")
+            races.note_write(self, "_per_replica")
             self._outstanding -= 1
             self._per_replica[replica] -= 1
         if response.status is QueryStatus.OK:
@@ -928,10 +952,12 @@ class ClusterPool:
         self, handle: str, csr: CSRGraph, epoch: int
     ) -> None:
         for broker in self.replicas:
-            broker.graphs[handle] = csr
+            broker.update_graph(handle, csr)
         self.cache.invalidate_graph(handle, keep_epoch=epoch)
         self.metrics.count("cluster.graph_updates")
-        self.graph_updates += 1
+        with self._lock:
+            races.note_write(self, "graph_updates")
+            self.graph_updates += 1
 
     # ------------------------------------------------------------------
     # Lifecycle
@@ -950,6 +976,11 @@ class ClusterPool:
             "cluster.concurrency_limit",
             float(self.admission.concurrency_limit),
         )
+        if self._owns_race_detector:
+            self._owns_race_detector = False
+            races.deactivate()
+            assert self.race_detector is not None
+            self.race_detector.finalize()
 
     def __enter__(self) -> "ClusterPool":
         return self

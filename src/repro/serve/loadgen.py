@@ -21,7 +21,6 @@ runs over the identical query list.
 
 from __future__ import annotations
 
-import threading
 import time
 from collections.abc import Callable, Mapping
 from dataclasses import dataclass, field
@@ -29,6 +28,7 @@ from typing import Any
 
 import numpy as np
 
+from repro.analysis.races import instrument as races
 from repro.core.scheduler import Scheduler
 from repro.errors import DeadlineExceededError, InvalidParameterError
 from repro.graph.csr import CSRGraph
@@ -387,7 +387,7 @@ def run_closed_loop(
         raise InvalidParameterError("concurrency must be >= 1")
     responses: list[QueryResponse | None] = [None] * len(requests)
     cursor = {"next": 0}
-    cursor_lock = threading.Lock()
+    cursor_lock = races.make_lock("loadgen.cursor")
     broker = QueryBroker(  # sage: allow(SAGE005) - sanctioned internal path
         {graph_name: graph},
         scheduler_factory,
@@ -412,7 +412,7 @@ def run_closed_loop(
 
     start = time.monotonic()
     clients = [
-        threading.Thread(target=client, name=f"serve-client-{i}", daemon=True)
+        races.spawn_thread(client, name=f"serve-client-{i}", daemon=True)
         for i in range(concurrency)
     ]
     for thread in clients:

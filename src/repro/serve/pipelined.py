@@ -25,6 +25,7 @@ from collections import deque
 from collections.abc import Callable
 from dataclasses import dataclass
 
+from repro.analysis.races import instrument as races
 from repro.core.scheduler import Scheduler
 from repro.errors import InvalidParameterError, SimulationError
 from repro.graph.csr import CSRGraph
@@ -167,6 +168,9 @@ class ReplicaPipeline:
 
     def submit(self, dag: BatchDag, ready: float) -> int:
         """Enqueue one compiled batch; returns a completion handle."""
+        # Single-owner by contract (the virtual-time loop); the write
+        # notes let the race detector prove no second thread sneaks in.
+        races.note_write(self, "_in_flight")
         local = self._next_local
         self._next_local += 1
         if self._in_flight < self.config.in_flight:
@@ -194,6 +198,7 @@ class ReplicaPipeline:
         slots, so queued batches admitted in their wake are also played
         out up to ``limit``.
         """
+        races.note_write(self, "_in_flight")
         out: list[tuple[int, float]] = []
         while True:
             done = self.device.advance_to(limit)
