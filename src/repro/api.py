@@ -46,10 +46,14 @@ import numpy as np
 from repro.apps import (
     BCApp,
     BFSApp,
+    BiasedRandomWalkApp,
     ConnectedComponentsApp,
+    KHopSampleApp,
     LabelPropagationApp,
+    Node2VecWalkApp,
     PageRankApp,
     SSSPApp,
+    SampledPPRApp,
 )
 from repro.apps.base import App
 from repro.baselines import (
@@ -101,10 +105,16 @@ APPS: dict[str, Callable[[], App]] = {
     "cc": ConnectedComponentsApp,
     "sssp": SSSPApp,
     "lp": LabelPropagationApp,
+    "walk": BiasedRandomWalkApp,
+    "node2vec": Node2VecWalkApp,
+    "khop": KHopSampleApp,
+    "sppr": SampledPPRApp,
 }
 
 #: App kinds that require a traversal source.
-SOURCE_APPS = frozenset({"bfs", "bc", "sssp"})
+SOURCE_APPS = frozenset(
+    {"bfs", "bc", "sssp", "walk", "node2vec", "khop", "sppr"}
+)
 
 #: Scheduler names accepted everywhere a scheduler is chosen by name.
 SCHEDULERS: dict[str, Callable[[], Scheduler]] = {

@@ -10,6 +10,13 @@ from repro.apps.msbfs import MAX_SOURCES, MultiSourceBFSApp
 from repro.apps.pagerank import PageRankApp
 from repro.apps.pagerank_pull import PageRankPullApp
 from repro.apps.ppr import PersonalizedPageRankApp
+from repro.apps.sampling import (
+    BiasedRandomWalkApp,
+    KHopSampleApp,
+    Node2VecWalkApp,
+    SampledPPRApp,
+    node2vec_transition_probabilities,
+)
 from repro.apps.scc import (
     MaskedReachabilityApp,
     SCCResult,
@@ -21,19 +28,24 @@ __all__ = [
     "App",
     "BCApp",
     "BFSApp",
+    "BiasedRandomWalkApp",
     "ConnectedComponentsApp",
     "FunctionalApp",
+    "KHopSampleApp",
     "LabelPropagationApp",
     "MAX_SOURCES",
     "MaskedReachabilityApp",
     "MultiSourceBFSApp",
+    "Node2VecWalkApp",
     "PageRankApp",
     "PageRankPullApp",
     "PersonalizedPageRankApp",
     "SCCResult",
     "SSSPApp",
+    "SampledPPRApp",
     "contract",
     "make_app",
+    "node2vec_transition_probabilities",
     "one_hot",
     "strongly_connected_components",
     "synthetic_weights",

@@ -1,0 +1,26 @@
+"""Random-walk & sampling workload family (GNN/recommendation traffic).
+
+Biased random walks, node2vec transition sampling, k-hop neighbor
+sampling for GNN mini-batches, and Monte Carlo personalized PageRank —
+all running on the standard expansion-filtering-contraction engine with
+counter-based seeded RNG (:mod:`repro.apps.sampling.rng`) so every
+result is bit-reproducible regardless of batching, routing or pipeline
+interleaving.  See DESIGN.md "Sampling workloads" for the derivation
+scheme and the coalescing cost model.
+"""
+
+from repro.apps.sampling.khop import KHopSampleApp
+from repro.apps.sampling.sppr import SampledPPRApp
+from repro.apps.sampling.walks import (
+    BiasedRandomWalkApp,
+    Node2VecWalkApp,
+    node2vec_transition_probabilities,
+)
+
+__all__ = [
+    "BiasedRandomWalkApp",
+    "KHopSampleApp",
+    "Node2VecWalkApp",
+    "SampledPPRApp",
+    "node2vec_transition_probabilities",
+]

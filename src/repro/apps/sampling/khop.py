@@ -1,0 +1,199 @@
+"""K-hop neighbor sampling for GNN mini-batches.
+
+The GraphSAGE-style primitive: from each seed node, sample ``fanouts[0]``
+neighbors (with replacement), then ``fanouts[1]`` neighbors of each of
+those, and so on — one pipeline iteration per layer, so a whole batch of
+seeds shares each layer's expansion kernel.  Every draw is keyed by
+``(seed, source, layer, parent_index, slot)`` where ``parent_index`` is
+the parent's position within *its own query's* layer; the sampled tree
+of one query is therefore identical whether the query runs alone or
+coalesced with thousands of others (the differential harness pins it).
+
+``result()`` for a single-query run is ``{"nodes", "offsets"}``: the
+layer-concatenated sampled node ids (seed first) and the layer boundary
+offsets (length ``len(fanouts) + 2``).  A batched run (``sources=...``)
+additionally returns ``"group_offsets"`` delimiting each query's slice
+of ``nodes`` — the executor splits on it and hands every query exactly
+the arrays its single-query oracle run would have produced.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.apps.base import App
+from repro.apps.sampling import rng
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+
+
+class KHopSampleApp(App):
+    """Layered neighbor sampling from one seed (or a batch of seeds)."""
+
+    name = "khop"
+    uses_atomics = False
+    value_access_factor = 1.0
+    edge_compute_factor = 1.2
+
+    def __init__(
+        self,
+        fanouts: tuple[int, ...] = (4, 3),
+        seed: int = 0,
+        sources: np.ndarray | None = None,
+    ) -> None:
+        super().__init__()
+        fanouts = tuple(int(f) for f in fanouts)
+        if not fanouts or any(f < 1 for f in fanouts):
+            raise InvalidParameterError(
+                f"fanouts must be a non-empty tuple of ints >= 1, "
+                f"got {fanouts!r}"
+            )
+        self.fanouts = fanouts
+        self.seed = int(seed)
+        self._sources_arg = (
+            None if sources is None else np.asarray(sources, dtype=np.int64)
+        )
+        self.sources: np.ndarray | None = None
+        self._layer = 0
+        self._cur_nodes: np.ndarray | None = None  # current labeling
+        self._cur_group: np.ndarray | None = None
+        self._cur_index: np.ndarray | None = None  # index within group layer
+        self._layers: list[tuple[np.ndarray, np.ndarray]] = []
+        self._inv: np.ndarray | None = None  # current id -> original id
+
+    # ------------------------------------------------------------------
+    # App contract
+    # ------------------------------------------------------------------
+
+    def setup(self, graph: CSRGraph, source: int | None = None) -> None:
+        if self._sources_arg is not None:
+            groups = self._sources_arg
+            if groups.size == 0:
+                raise InvalidParameterError("sources must be non-empty")
+        else:
+            if source is None:
+                raise InvalidParameterError("khop requires a source node")
+            groups = np.array([source], dtype=np.int64)
+        if groups.min() < 0 or groups.max() >= graph.num_nodes:
+            raise InvalidParameterError("khop source out of range")
+        self.graph = graph
+        self.sources = groups
+        self._layer = 0
+        self._cur_nodes = groups.copy()
+        self._cur_group = np.arange(groups.size, dtype=np.int64)
+        self._cur_index = np.zeros(groups.size, dtype=np.int64)
+        self._layers = []
+        self._inv = None
+
+    def initial_frontier(self) -> np.ndarray:
+        assert self._cur_nodes is not None
+        return np.unique(self._cur_nodes)
+
+    def process_level(
+        self,
+        edge_src: np.ndarray,
+        edge_dst: np.ndarray,
+        edge_pos: np.ndarray | None = None,
+    ) -> np.ndarray:
+        assert self.graph is not None and self.sources is not None
+        assert self._cur_nodes is not None and self._cur_group is not None
+        assert self._cur_index is not None
+        offsets, targets = self.graph.offsets, self.graph.targets
+        fanout = self.fanouts[self._layer]
+        parents, groups = self._cur_nodes, self._cur_group
+        pidx = self._cur_index
+        degrees = offsets[parents + 1] - offsets[parents]
+        live = degrees > 0  # dangling parents contribute no children
+        parents, groups, pidx = parents[live], groups[live], pidx[live]
+        degrees = degrees[live]
+        if parents.size:
+            # One draw per (parent, slot); keys broadcast (P, 1) x (f,).
+            slots = np.arange(fanout, dtype=np.int64)
+            u = rng.uniform(
+                rng.derive(
+                    self.seed, self.sources[groups], self._layer, pidx
+                )[:, None],
+                slots,
+            )
+            sel = rng.choose_index(u, degrees[:, None])
+            children = targets[offsets[parents][:, None] + sel]
+            flat = children.reshape(-1)
+            child_groups = np.repeat(groups, fanout)
+            recorded = flat if self._inv is None else self._inv[flat]
+            self._layers.append((child_groups, recorded))
+            # Per-group position of each child (groups are contiguous
+            # because parents stay sorted by group across layers).
+            counts = np.bincount(child_groups,
+                                 minlength=self.sources.size)
+            run_starts = np.repeat(
+                np.cumsum(counts) - counts, counts
+            )
+            child_index = (
+                np.arange(flat.size, dtype=np.int64) - run_starts
+            )
+            self._cur_nodes = flat
+            self._cur_group = child_groups
+            self._cur_index = child_index
+        else:
+            self._layers.append((
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            ))
+            self._cur_nodes = np.empty(0, dtype=np.int64)
+            self._cur_group = np.empty(0, dtype=np.int64)
+            self._cur_index = np.empty(0, dtype=np.int64)
+        self._layer += 1
+        if self._layer >= len(self.fanouts) or self._cur_nodes.size == 0:
+            return np.empty(0, dtype=np.int64)
+        return np.unique(self._cur_nodes)
+
+    def result(self) -> dict[str, np.ndarray]:
+        assert self.sources is not None
+        num_groups = self.sources.size
+        num_layers = len(self.fanouts)
+        # Layers may be missing when sampling died early; pad empties.
+        layers = list(self._layers)
+        while len(layers) < num_layers:
+            layers.append((
+                np.empty(0, dtype=np.int64), np.empty(0, dtype=np.int64)
+            ))
+        pieces: list[np.ndarray] = []
+        offsets = np.zeros((num_groups, num_layers + 2), dtype=np.int64)
+        group_offsets = np.zeros(num_groups + 1, dtype=np.int64)
+        for g in range(num_groups):
+            # self.sources already holds original ids (frozen at setup).
+            parts = [np.array([self.sources[g]], dtype=np.int64)]
+            for layer_groups, layer_nodes in layers:
+                parts.append(layer_nodes[layer_groups == g])
+            sizes = np.array([p.size for p in parts], dtype=np.int64)
+            offsets[g, 1:] = np.cumsum(sizes)
+            pieces.append(np.concatenate(parts))
+            group_offsets[g + 1] = group_offsets[g] + offsets[g, -1]
+        nodes = (
+            np.concatenate(pieces) if pieces
+            else np.empty(0, dtype=np.int64)
+        )
+        if self._sources_arg is None:
+            return {"nodes": nodes, "offsets": offsets[0]}
+        return {
+            "nodes": nodes,
+            "offsets": offsets,
+            "group_offsets": group_offsets,
+        }
+
+    # ------------------------------------------------------------------
+    # Reordering hooks
+    # ------------------------------------------------------------------
+
+    def remap_nodes(self, perm: np.ndarray) -> None:
+        assert self.graph is not None
+        # Recorded layers hold original ids; only the cursors move.
+        if self._cur_nodes is not None and self._cur_nodes.size:
+            self._cur_nodes = perm[self._cur_nodes]
+        n = self.graph.num_nodes
+        if self._inv is None:
+            self._inv = np.empty(n, dtype=np.int64)
+            self._inv[perm] = np.arange(n, dtype=np.int64)
+        else:
+            updated = np.empty(n, dtype=np.int64)
+            updated[perm] = self._inv
+            self._inv = updated

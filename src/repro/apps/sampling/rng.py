@@ -1,0 +1,92 @@
+"""Counter-based seeded RNG for the sampling workload family.
+
+Every random draw in :mod:`repro.apps.sampling` is a *pure function* of
+integer coordinates — ``(global_seed, walk_id, step, slot)`` — hashed
+through a splitmix64-style finalizer.  There is no mutable generator
+state at all: a walk's next hop depends only on its identity and the
+step counter, never on how many other walks share the kernel, which
+batch the query landed in, or which replica served it.  That is what
+makes batched/clustered/pipelined sampling bit-identical to the
+single-query oracle (the differential harness in ``tests/serve/`` pins
+it) and is the GPU-idiomatic formulation: C-SAW and cuRAND's
+counter-based generators derive per-thread streams the same way.
+
+Deliberately **no** ``numpy.random`` anywhere in this package — the
+SAGE003 determinism lint and the AST drift test in
+``tests/test_sampling_apps.py`` both enforce that every draw flows
+through :func:`derive` / :func:`uniform`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+#: splitmix64 stream increment (the 64-bit golden-ratio constant).
+GOLDEN = np.uint64(0x9E3779B97F4A7C15)
+_MIX1 = np.uint64(0xBF58476D1CE4E5B9)
+_MIX2 = np.uint64(0x94D049BB133111EB)
+_U64_MASK = (1 << 64) - 1
+#: 2**-53: scales the top 53 hash bits onto the float64 unit interval.
+_INV_2_53 = float(2.0 ** -53)
+
+
+def _as_u64(value) -> np.ndarray:
+    """Coerce an int or integer array to uint64 (two's-complement wrap).
+
+    Always returns an ``ndarray`` (0-d for scalars): array arithmetic
+    wraps silently on overflow, exactly the modular behavior splitmix64
+    needs, whereas numpy *scalar* overflow raises RuntimeWarnings.
+    """
+    if isinstance(value, (int, np.integer)):
+        return np.asarray(int(value) & _U64_MASK, dtype=np.uint64)
+    arr = np.asarray(value)
+    if arr.dtype == np.uint64:
+        return arr
+    return arr.astype(np.uint64)
+
+
+def mix64(x) -> np.ndarray:
+    """The splitmix64 finalizer: a bijective avalanche on uint64."""
+    x = _as_u64(x)
+    # Modular wraparound is the whole point of the finalizer; numpy
+    # reports 0-d overflow as a RuntimeWarning, so mute it here.
+    with np.errstate(over="ignore"):
+        x = (x ^ (x >> np.uint64(30))) * _MIX1
+        x = (x ^ (x >> np.uint64(27))) * _MIX2
+    return x ^ (x >> np.uint64(31))
+
+
+def derive(*parts) -> np.ndarray:
+    """Fold integer coordinates into one uint64 key (order-sensitive).
+
+    Broadcasting applies across array-valued parts, so
+    ``derive(seed, sources, walk_indices)`` yields one independent key
+    per walk in a single vectorized pass.  Keys are themselves valid
+    parts: ``derive(derive(seed, walk), step)`` equals nothing else in
+    the stream family, which is how per-step draws are chained.
+    """
+    acc = np.zeros((), dtype=np.uint64)
+    with np.errstate(over="ignore"):
+        for part in parts:
+            acc = mix64(acc ^ (mix64(part) + GOLDEN))
+    return acc
+
+
+def uniform(*parts) -> np.ndarray:
+    """Deterministic float64 uniforms in ``[0, 1)`` at the coordinates.
+
+    Uses the top 53 bits of :func:`derive`, the standard bits-to-double
+    construction, so every value is exactly representable and strictly
+    below 1.0.
+    """
+    bits = derive(*parts)
+    return (bits >> np.uint64(11)).astype(np.float64) * _INV_2_53
+
+
+def choose_index(u: np.ndarray, counts: np.ndarray) -> np.ndarray:
+    """Map unit uniforms onto ``[0, counts)`` indices (counts >= 1)."""
+    counts = np.asarray(counts, dtype=np.int64)
+    idx = (np.asarray(u, dtype=np.float64) * counts).astype(np.int64)
+    # u < 1.0 guarantees idx < counts mathematically; the clip guards
+    # the float rounding edge where u * counts lands exactly on counts.
+    return np.minimum(idx, counts - 1)

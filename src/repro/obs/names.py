@@ -166,6 +166,19 @@ CLUSTER_COUNTERS: frozenset[str] = frozenset(
     }
 )
 
+#: Counters emitted by the sampling workload family as batches of
+#: walk/node2vec/khop/sppr queries coalesce into combined-app runs
+#: (``repro.serve.executor``).
+SAMPLING_COUNTERS: frozenset[str] = frozenset(
+    {
+        "sampling.queries",
+        "sampling.coalesced_batches",
+        "sampling.batched_sources",
+        "sampling.walks",
+        "sampling.khop_nodes",
+    }
+)
+
 #: Counters emitted by the unified facade (``repro.api``).
 API_COUNTERS: frozenset[str] = frozenset(
     {
@@ -205,6 +218,7 @@ COUNTERS: frozenset[str] = (
     | RACES_COUNTERS
     | SERVE_COUNTERS
     | CLUSTER_COUNTERS
+    | SAMPLING_COUNTERS
     | API_COUNTERS
     | TUNE_COUNTERS
 )

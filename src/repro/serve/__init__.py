@@ -64,6 +64,7 @@ from repro.serve.pipelined import (
 from repro.serve.loadgen import (
     DEFAULT_MIX,
     DEFAULT_PARAMS,
+    SAMPLING_MIX,
     ServeBenchReport,
     generate_queries,
     open_loop_arrivals,
@@ -74,7 +75,9 @@ from repro.serve.loadgen import (
     skew_sources,
 )
 from repro.serve.request import (
+    SAMPLING_APPS,
     SERVE_APPS,
+    SOURCE_APPS,
     QueryRequest,
     QueryResponse,
     QueryStatus,
@@ -112,7 +115,10 @@ __all__ = [
     "ReplicaPipeline",
     "ResultCache",
     "Router",
+    "SAMPLING_APPS",
+    "SAMPLING_MIX",
     "SERVE_APPS",
+    "SOURCE_APPS",
     "ServeBenchReport",
     "TokenBucket",
     "batch_key",

@@ -25,10 +25,14 @@ import numpy as np
 
 from repro.apps import (
     BFSApp,
+    BiasedRandomWalkApp,
+    KHopSampleApp,
     MultiSourceBFSApp,
+    Node2VecWalkApp,
     PageRankApp,
     PersonalizedPageRankApp,
     SSSPApp,
+    SampledPPRApp,
 )
 from repro.apps.base import App
 from repro.apps.msbfs import MAX_SOURCES
@@ -38,7 +42,7 @@ from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
 from repro.multigpu import MultiGpuRunner, chunk_partition
 from repro.obs import NULL_REGISTRY, MetricsRegistry
-from repro.serve.request import QueryRequest
+from repro.serve.request import SAMPLING_APPS, QueryRequest
 
 
 def make_single_app(kind: str, params: dict[str, Any]) -> App:
@@ -55,6 +59,14 @@ def make_single_app(kind: str, params: dict[str, Any]) -> App:
         return PageRankApp(**params)
     if kind == "ppr":
         return PersonalizedPageRankApp(**params)
+    if kind == "walk":
+        return BiasedRandomWalkApp(**params)
+    if kind == "node2vec":
+        return Node2VecWalkApp(**params)
+    if kind == "khop":
+        return KHopSampleApp(**params)
+    if kind == "sppr":
+        return SampledPPRApp(**params)
     raise InvalidParameterError(f"unknown serve app {kind!r}")
 
 
@@ -170,6 +182,8 @@ class BatchExecutor:
             return self._execute_per_source(graph, requests)
         if kind == "pr":
             return self._execute_shared(graph, requests)
+        if kind in SAMPLING_APPS:
+            return self._execute_sampling(graph, requests)
         raise InvalidParameterError(f"unknown serve app {kind!r}")
 
     def _execute_bfs(
@@ -226,6 +240,64 @@ class BatchExecutor:
             {k: np.asarray(v).copy() for k, v in result.result.items()}
             for _ in requests
         ]
+        return BatchExecution(
+            results=results, sim_seconds=result.seconds, runs=[result]
+        )
+
+    def _execute_sampling(
+        self, graph: CSRGraph, requests: list[QueryRequest]
+    ) -> BatchExecution:
+        """Sampling queries of a batch share one combined-app run.
+
+        The combined app carries ``sources=`` (the batch's sorted unique
+        query sources) and advances every source's streams together, so
+        each level's expansion kernel gathers the *union* frontier once.
+        Counter-based RNG keys every draw by ``(seed, source, ...)``,
+        never by batch composition, so slicing the combined result per
+        source reproduces each single-query oracle run bit for bit.
+        """
+        kind = requests[0].app
+        params = requests[0].param_dict()
+        unique = sorted({int(req.source) for req in requests})  # type: ignore[arg-type]
+        sources = np.array(unique, dtype=np.int64)
+        group_of = {src: g for g, src in enumerate(unique)}
+        app = make_single_app(kind, {**params, "sources": sources})
+        result = self._run(graph, app)
+        self.metrics.count("sampling.queries", len(requests))
+        self.metrics.count("sampling.coalesced_batches")
+        self.metrics.count("sampling.batched_sources", sources.size)
+        combined = result.result
+        results: list[dict[str, np.ndarray]] = []
+        if kind in ("walk", "node2vec"):
+            walks = combined["walks"]
+            per_source = walks.shape[0] // sources.size
+            self.metrics.count("sampling.walks", walks.shape[0])
+            for req in requests:
+                g = group_of[int(req.source)]  # type: ignore[arg-type]
+                rows = walks[g * per_source:(g + 1) * per_source]
+                results.append({"walks": rows.copy()})
+        elif kind == "sppr":
+            estimates = combined["sppr"]
+            self.metrics.count(
+                "sampling.walks", app.num_walks * sources.size  # type: ignore[attr-defined]
+            )
+            for req in requests:
+                g = group_of[int(req.source)]  # type: ignore[arg-type]
+                results.append({"sppr": estimates[g].copy()})
+        elif kind == "khop":
+            nodes = combined["nodes"]
+            offsets = combined["offsets"]
+            group_offsets = combined["group_offsets"]
+            self.metrics.count("sampling.khop_nodes", int(nodes.size))
+            for req in requests:
+                g = group_of[int(req.source)]  # type: ignore[arg-type]
+                lo, hi = int(group_offsets[g]), int(group_offsets[g + 1])
+                results.append({
+                    "nodes": nodes[lo:hi].copy(),
+                    "offsets": offsets[g].copy(),
+                })
+        else:  # pragma: no cover - dispatch guarantees membership
+            raise InvalidParameterError(f"unknown sampling app {kind!r}")
         return BatchExecution(
             results=results, sim_seconds=result.seconds, runs=[result]
         )

@@ -36,7 +36,12 @@ from repro.obs import MetricsRegistry
 from repro.serve.batching import MicroBatcher, occupancy_mean
 from repro.serve.broker import QueryBroker
 from repro.serve.executor import BatchExecutor, run_direct
-from repro.serve.request import QueryRequest, QueryResponse, QueryStatus
+from repro.serve.request import (
+    SOURCE_APPS,
+    QueryRequest,
+    QueryResponse,
+    QueryStatus,
+)
 
 #: Default per-app parameter presets used by the query generator.
 DEFAULT_PARAMS: dict[str, dict[str, Any]] = {
@@ -44,11 +49,23 @@ DEFAULT_PARAMS: dict[str, dict[str, Any]] = {
     "sssp": {},
     "pr": {"max_iterations": 10},
     "ppr": {"max_iterations": 10},
+    "walk": {"num_walks": 4, "walk_length": 8, "seed": 7},
+    "node2vec": {
+        "num_walks": 4, "walk_length": 8, "seed": 7, "p": 2.0, "q": 0.5,
+    },
+    "khop": {"fanouts": (4, 3), "seed": 7},
+    "sppr": {"num_walks": 256, "max_steps": 32, "damping": 0.85, "seed": 7},
 }
 
 #: Default app mix of the serving benchmark (BFS-heavy, as a traversal
 #: service would be; PR rides along to exercise shared-run batching).
 DEFAULT_MIX: dict[str, float] = {"bfs": 0.8, "pr": 0.1, "sssp": 0.1}
+
+#: Sampling-service mix (GNN/embedding traffic): mostly walks, some
+#: second-order node2vec, GNN k-hop mini-batches, and Monte Carlo PPR.
+SAMPLING_MIX: dict[str, float] = {
+    "walk": 0.5, "node2vec": 0.2, "khop": 0.2, "sppr": 0.1,
+}
 
 
 def generate_queries(
@@ -81,7 +98,7 @@ def generate_queries(
             QueryRequest(
                 app=kind,
                 graph=graph_name,
-                source=None if kind == "pr" else int(source),
+                source=int(source) if kind in SOURCE_APPS else None,
                 params=tuple(sorted(presets.get(kind, {}).items())),
                 deadline_seconds=deadline_seconds,
             )

@@ -20,10 +20,16 @@ import numpy as np
 from repro.errors import InvalidParameterError
 
 #: Application kinds the service can execute (see `repro.serve.executor`).
-SERVE_APPS = ("bfs", "sssp", "pr", "ppr")
+SERVE_APPS = ("bfs", "sssp", "pr", "ppr", "walk", "node2vec", "khop", "sppr")
 
 #: Kinds whose queries require a source node.
-SOURCE_APPS = frozenset({"bfs", "sssp", "ppr"})
+SOURCE_APPS = frozenset(
+    {"bfs", "sssp", "ppr", "walk", "node2vec", "khop", "sppr"}
+)
+
+#: Sampling kinds: coalesced into one combined-app run per batch, with
+#: counter-based RNG keeping every stream bit-identical to its oracle.
+SAMPLING_APPS = frozenset({"walk", "node2vec", "khop", "sppr"})
 
 
 class QueryStatus(enum.Enum):

@@ -23,11 +23,17 @@ from repro.tune.profiles import (
 )
 from repro.tune.search import SearchResult, search
 from repro.tune.space import DEFAULT_SPACE, TuningPoint, TuningSpace
-from repro.tune.workloads import BENCH_WORKLOADS, TuningWorkload, get_workload
+from repro.tune.workloads import (
+    BENCH_WORKLOADS,
+    SAMPLING_WORKLOADS,
+    TuningWorkload,
+    get_workload,
+)
 
 __all__ = [
     "BENCH_WORKLOADS",
     "DEFAULT_SPACE",
+    "SAMPLING_WORKLOADS",
     "CostModelEvaluator",
     "Evaluation",
     "ProfileStore",

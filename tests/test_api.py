@@ -40,7 +40,10 @@ class TestSurface:
         assert "api" in repro.__all__
 
     def test_registries_cover_cli_names(self):
-        assert set(api.APPS) == {"bfs", "bc", "pr", "cc", "sssp", "lp"}
+        assert set(api.APPS) == {
+            "bfs", "bc", "pr", "cc", "sssp", "lp",
+            "walk", "node2vec", "khop", "sppr",
+        }
         assert api.SOURCE_APPS <= set(api.APPS)
         assert set(api.SCHEDULERS) == {
             "sage", "sage-sr", "tpn", "b40c", "tigr", "gunrock",

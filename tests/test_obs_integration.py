@@ -221,7 +221,8 @@ class TestBenchTrajectory:
         assert set(first["workloads"]) == {
             "bfs_rmat", "pagerank_rmat", "sssp_rmat", "bfs_rmat_outofcore",
             "bfs_rmat_100k", "pagerank_rmat_100k", "serve_openloop",
-            "cluster_openloop", "pipeline_openloop", "tuned_vs_default",
+            "sampling_openloop", "cluster_openloop", "pipeline_openloop",
+            "tuned_vs_default",
         }
         for row in first["workloads"].values():
             # The serving row carries only the metrics that exist for a
@@ -236,6 +237,16 @@ class TestBenchTrajectory:
         row = bench._serve_row(smoke=True)
         assert row["serve_speedup_vs_sequential"] >= bench.SERVE_SPEEDUP_FLOOR
         assert row["serve_batch_occupancy_mean"] >= 8.0
+        assert row["simulated_seconds"] > 0
+
+    def test_sampling_tier_meets_speedup_floor(self):
+        bench = load_bench_trajectory()
+        row = bench._sampling_row(smoke=True)
+        assert (
+            row["sampling_speedup_vs_sequential"]
+            >= bench.SAMPLING_SPEEDUP_FLOOR
+        )
+        assert row["sampling_batch_occupancy_mean"] >= 2.0
         assert row["simulated_seconds"] > 0
 
     def test_cluster_tier_meets_speedup_floor(self):

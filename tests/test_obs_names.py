@@ -220,6 +220,35 @@ class TestEmitSitesResolve:
         assert emitted["set_gauge"] == set(names.PIPELINE_GAUGES)
         assert emitted["span"] == pipeline_spans
 
+    def test_sampling_emits_exactly_the_registered_sampling_names(self):
+        """The executor's ``sampling.*`` literals == the registry.
+
+        Same AST collection as the serve/cluster drift tests, scanned
+        across all of ``repro/serve`` (the batch executor is the only
+        emitter — the sampling apps themselves have no metrics handle).
+        """
+        emitted: dict[str, set[str]] = {
+            "count": set(), "set_counter": set(),
+            "set_gauge": set(), "span": set(),
+        }
+        for path in sorted((SRC / "serve").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in emitted
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("sampling.")
+                ):
+                    emitted[node.func.attr].add(node.args[0].value)
+        counters = emitted["count"] | emitted["set_counter"]
+        assert counters == set(names.SAMPLING_COUNTERS)
+        assert emitted["set_gauge"] == set()
+        assert emitted["span"] == set()
+
     def test_api_emits_exactly_the_registered_api_counters(self):
         """The facade's ``api.*`` literals == the canonical list."""
         tree = ast.parse((SRC / "api.py").read_text(encoding="utf-8"))
@@ -259,6 +288,7 @@ class TestRegistryStructure:
             | names.RACES_COUNTERS
             | names.SERVE_COUNTERS
             | names.CLUSTER_COUNTERS
+            | names.SAMPLING_COUNTERS
             | names.API_COUNTERS
             | names.TUNE_COUNTERS
         )
