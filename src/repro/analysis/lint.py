@@ -19,9 +19,10 @@ violations of repo-specific rules ordinary linters cannot express:
   swallow diagnostics (``pass``-only bodies catching ``Exception``) in
   the simulator layers (:data:`SIMULATOR_LAYERS`).
 * **SAGE005** — use of a deprecated entry point:
-  ``run_app(..., sanitizer=...)`` (use ``repro.api.run(..., checks=...)``)
-  or direct ``QueryBroker(...)`` construction (use ``repro.api.serve``).
-  The sanctioned internal construction sites carry an inline allow.
+  ``run_app(..., sanitizer=...)`` (use ``repro.api.run(..., checks=...)``),
+  direct ``QueryBroker(...)`` construction (use ``repro.api.serve``), or
+  per-edge ``.apply_update(...)`` (use ``GraphStore.apply_edges`` /
+  ``apply_delta``).  The sanctioned internal sites carry an inline allow.
 * **SAGE006** — lock discipline: an attribute a class declares in its
   ``_guarded_by`` mapping (attribute name → guard attribute, or a tuple
   of acceptable guards) accessed outside a ``with self.<guard>:`` block.
@@ -59,7 +60,8 @@ RULES: dict[str, str] = {
     "SAGE002": "metric/span name literal not in the repro.obs.names registry",
     "SAGE003": "unseeded numpy randomness in library code",
     "SAGE004": "bare except / swallowed diagnostics in simulator layers",
-    "SAGE005": "deprecated entry point (run_app sanitizer= / QueryBroker())",
+    "SAGE005": "deprecated entry point (run_app sanitizer= / QueryBroker() "
+               "/ .apply_update())",
     "SAGE006": "attribute declared in _guarded_by accessed without its lock",
     "SAGE007": "known-blocking call while a lock is held",
 }
@@ -572,6 +574,14 @@ class _FileLinter(ast.NodeVisitor):
                 "direct QueryBroker construction is deprecated; use "
                 "repro.api.serve(...) (internal sites carry an inline "
                 "allow)",
+            )
+        elif name == "apply_update" and isinstance(func, ast.Attribute):
+            self._flag(
+                "SAGE005",
+                node,
+                ".apply_update(handle, src, dst) is deprecated; use "
+                "apply_edges(handle, src, dst) or "
+                "apply_delta(handle, delta)",
             )
 
     # -- SAGE004: swallowed diagnostics --------------------------------

@@ -67,6 +67,7 @@ from repro.core.scheduler import Scheduler
 from repro.errors import InvalidParameterError
 from repro.graph import datasets, io
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
 from repro.graph.dynamic import DynamicGraph
 from repro.gpusim.profiler import Profiler
 from repro.obs import NULL_REGISTRY, MetricsRegistry
@@ -535,6 +536,67 @@ def bench(
     return cluster_report
 
 
+def update(
+    target: GraphStore | ClusterPool | DynamicGraph,
+    handle: str = "default",
+    *,
+    insert: tuple[Any, Any] | None = None,
+    delete: tuple[Any, Any] | None = None,
+    metrics: MetricsRegistry | None = None,
+) -> GraphDelta:
+    """Apply one batched edge update and return the merge's delta.
+
+    ``target`` is a :class:`~repro.serve.cache.GraphStore`, a running
+    :func:`cluster` pool (updates its store, so replicas patch their
+    CSRs and the cache invalidates selectively), or a bare
+    :class:`~repro.graph.dynamic.DynamicGraph`.  ``insert`` and
+    ``delete`` are ``(src, dst)`` array pairs applied as a single merge
+    — deletes win over same-batch inserts of the same pair.  The
+    returned :class:`~repro.graph.delta.GraphDelta` records exactly
+    what changed; feed it to the :mod:`repro.apps.incremental` engines
+    to repair standing results instead of recomputing.
+    """
+    registry = metrics if metrics is not None else NULL_REGISTRY
+    if insert is None and delete is None:
+        raise InvalidParameterError(
+            "pass insert=(src, dst) and/or delete=(src, dst)"
+        )
+    empty = np.empty(0, dtype=np.int64)
+    ins_src, ins_dst = insert if insert is not None else (empty, empty)
+    registry.count("api.updates")
+    if isinstance(target, DynamicGraph):
+        ins_src = np.asarray(ins_src)
+        if ins_src.size:
+            target.insert_edges(ins_src, np.asarray(ins_dst))
+        if delete is not None:
+            target.delete_edges(
+                np.asarray(delete[0]), np.asarray(delete[1])
+            )
+        before = target.epoch
+        target.flush()
+        delta = target.last_delta
+        if delta is None or target.epoch == before:
+            raise InvalidParameterError(
+                "update applied no changes (empty insert and delete)"
+            )
+        return delta
+    store = target.store if isinstance(target, ClusterPool) else target
+    before = store.epoch(handle)
+    store.apply_edges(
+        handle,
+        ins_src,
+        ins_dst,
+        delete_src=delete[0] if delete is not None else None,
+        delete_dst=delete[1] if delete is not None else None,
+    )
+    delta = store.last_delta(handle)
+    if delta is None or store.epoch(handle) == before:
+        raise InvalidParameterError(
+            "update applied no changes (empty insert and delete)"
+        )
+    return delta
+
+
 __all__ = [
     "APPS",
     "RunResult",
@@ -546,4 +608,5 @@ __all__ = [
     "run",
     "serve",
     "tune",
+    "update",
 ]

@@ -1,0 +1,39 @@
+"""Delta-aware incremental algorithms: stop paying full price per epoch.
+
+A hot graph under a sustained update stream used to recompute every
+query from scratch after every :class:`~repro.graph.dynamic.DynamicGraph`
+merge.  The engines here consume the structured
+:class:`~repro.graph.delta.GraphDelta` a merge produces and repair the
+previous answer instead:
+
+* :class:`IncrementalBFS` / :class:`IncrementalSSSP` — invalidate only
+  the cone of vertices whose distances can have changed (descendants of
+  deletion-broken shortest-path-DAG edges) and re-settle it with a
+  min-relaxation pass seeded from the cone's intact boundary plus the
+  inserted edges' sources.  Results are **bit-identical** to a full
+  recompute at every epoch (shortest distances are unique).
+* :class:`IncrementalPageRank` — maintains a (estimate, residual) pair
+  with the invariant ``residual = A(p) - p`` for the PageRank operator
+  ``A``; a delta perturbs residuals only at the changed-out-edge
+  vertices, and frontier-driven residual pushes drain them back under
+  tolerance.  ``error_bound()`` is a *computed* certificate:
+  ``|p - pagerank*|_1 <= |residual|_1 / (1 - damping)``.
+
+Every repair pass runs through the
+:class:`~repro.core.pipeline.TraversalPipeline`, so incremental device
+seconds are directly comparable to the full-recompute oracle's — the
+``dynamic_stream`` bench tier gates on that ratio.  Each engine falls
+back to a full recompute when the delta is too large for repair to win
+(``fallback_fraction`` of the edge count).
+"""
+
+from repro.apps.incremental.base import IncrementalReport
+from repro.apps.incremental.pagerank import IncrementalPageRank
+from repro.apps.incremental.repair import IncrementalBFS, IncrementalSSSP
+
+__all__ = [
+    "IncrementalBFS",
+    "IncrementalPageRank",
+    "IncrementalReport",
+    "IncrementalSSSP",
+]

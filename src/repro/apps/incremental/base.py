@@ -1,0 +1,136 @@
+"""Shared plumbing of the incremental engines.
+
+Each engine owns its converged state (distances, or a PageRank
+estimate/residual pair), consumes one :class:`~repro.graph.delta.
+GraphDelta` per :meth:`update` call, and reports what it did as an
+:class:`IncrementalReport`.  All device work — the initial solve, the
+affected-cone discovery, the repair/re-settle passes, and any fallback
+full recompute — runs through the
+:class:`~repro.core.pipeline.TraversalPipeline`, so ``sim_seconds`` is
+in the same simulated-device currency as an ordinary
+:func:`~repro.core.pipeline.run_app` call.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Callable
+from dataclasses import dataclass
+
+from repro.core.pipeline import RunResult, TraversalPipeline
+from repro.core.scheduler import Scheduler
+from repro.errors import InvalidParameterError
+from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
+from repro.obs import NULL_REGISTRY, MetricsRegistry
+
+#: Update modes an engine can report.
+MODE_FULL = "full"
+MODE_INCREMENTAL = "incremental"
+MODE_NOOP = "noop"
+
+
+@dataclass(frozen=True)
+class IncrementalReport:
+    """What one :meth:`update` call did.
+
+    Attributes:
+        mode: ``"incremental"`` (repair ran), ``"full"`` (delta over the
+            fallback threshold — recomputed from scratch), or ``"noop"``
+            (the delta provably cannot change the result).
+        sim_seconds: simulated device seconds spent by this update (all
+            pipeline passes combined; 0.0 for a no-op).
+        affected: vertices invalidated by cone discovery (0 outside
+            incremental mode).
+        frontier: seed-frontier size of the repair / push pass.
+        iterations: pipeline iterations across this update's passes.
+    """
+
+    mode: str
+    sim_seconds: float
+    affected: int = 0
+    frontier: int = 0
+    iterations: int = 0
+
+
+class IncrementalEngine:
+    """Base class: scheduler wiring, fallback policy, bookkeeping."""
+
+    #: short app-family name used in metrics span attributes.
+    kind: str = "incremental"
+
+    def __init__(
+        self,
+        graph: CSRGraph,
+        *,
+        scheduler_factory: Callable[[], Scheduler],
+        fallback_fraction: float = 0.25,
+        metrics: MetricsRegistry | None = None,
+    ) -> None:
+        if not 0.0 < fallback_fraction <= 1.0:
+            raise InvalidParameterError(
+                "fallback_fraction must be in (0, 1]"
+            )
+        self.graph = graph
+        self.fallback_fraction = float(fallback_fraction)
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
+        self._scheduler_factory = scheduler_factory
+        self.updates = 0
+        self.full_recomputes = 0
+        self.repairs = 0
+        self.noops = 0
+        self.last_report: IncrementalReport | None = None
+
+    # ------------------------------------------------------------------
+    # Shared machinery
+    # ------------------------------------------------------------------
+
+    def _run(self, graph, app, source=None) -> RunResult:
+        """One pipeline pass on a fresh scheduler (device time counted)."""
+        pipeline = TraversalPipeline(
+            graph, self._scheduler_factory(), metrics=self.metrics
+        )
+        return pipeline.run(app, source)
+
+    def _should_fallback(
+        self, new_graph: CSRGraph, delta: GraphDelta
+    ) -> bool:
+        """Full recompute when the delta is too large for repair to win.
+
+        The repair cost scales with the affected region while a full
+        recompute scales with the whole graph — past a fixed fraction
+        of the edge count the cone is likely most of the graph and the
+        bookkeeping overhead loses (DESIGN.md discusses the threshold).
+        """
+        return delta.size > self.fallback_fraction * max(
+            1, new_graph.num_edges
+        )
+
+    def _check_delta(self, new_graph: CSRGraph, delta: GraphDelta) -> None:
+        if delta.num_nodes != self.graph.num_nodes:
+            raise InvalidParameterError(
+                f"delta is for {delta.num_nodes} nodes, engine tracks "
+                f"{self.graph.num_nodes}"
+            )
+        if new_graph.num_nodes != self.graph.num_nodes:
+            raise InvalidParameterError(
+                "updates must preserve the vertex set"
+            )
+
+    def _record(self, report: IncrementalReport) -> IncrementalReport:
+        self.updates += 1
+        self.metrics.count("incremental.updates")
+        if report.mode == MODE_FULL:
+            self.full_recomputes += 1
+            self.metrics.count("incremental.full_recomputes")
+        elif report.mode == MODE_INCREMENTAL:
+            self.repairs += 1
+            self.metrics.count("incremental.repairs")
+            if report.affected:
+                self.metrics.count(
+                    "incremental.affected_vertices", report.affected
+                )
+        else:
+            self.noops += 1
+            self.metrics.count("incremental.noops")
+        self.last_report = report
+        return report

@@ -19,6 +19,24 @@ from repro.graph.csr import CSRGraph
 INF = np.iinfo(np.int64).max // 4
 
 
+def pair_weights(
+    src: np.ndarray, dst: np.ndarray, max_weight: int = 8
+) -> np.ndarray:
+    """Deterministic positive weight of each ``(src, dst)`` pair.
+
+    A pure hash of the endpoint ids, so the same pair always weighs the
+    same — across graph epochs, duplicate edge copies, and independent
+    callers.  Incremental SSSP repair relies on this stability: the
+    weight of a deleted or inserted edge can be recomputed from its
+    endpoints alone.  Weights are in ``[1, max_weight]``.
+    """
+    mix = (
+        np.asarray(src, dtype=np.int64) * np.int64(2654435761)
+        ^ (np.asarray(dst, dtype=np.int64) + np.int64(0x9E3779B9))
+    )
+    return 1 + (np.abs(mix) % max_weight)
+
+
 def synthetic_weights(graph: CSRGraph, max_weight: int = 8) -> np.ndarray:
     """Deterministic positive weights, one per CSR edge slot.
 
@@ -28,8 +46,7 @@ def synthetic_weights(graph: CSRGraph, max_weight: int = 8) -> np.ndarray:
     Weights are in ``[1, max_weight]``.
     """
     coo = graph.to_coo()
-    mix = (coo.src * np.int64(2654435761) ^ (coo.dst + np.int64(0x9E3779B9)))
-    return 1 + (np.abs(mix) % max_weight)
+    return pair_weights(coo.src, coo.dst, max_weight)
 
 
 class SSSPApp(App):

@@ -12,6 +12,7 @@ from repro.graph.compressed import CompressedCSRGraph
 from repro.graph.coo import COOGraph
 from repro.graph.csr import CSRGraph
 from repro.graph.datasets import Dataset, by_name, full_suite, small_suite
+from repro.graph.delta import GraphDelta, patch_csr
 from repro.graph.dynamic import DynamicGraph
 from repro.graph.properties import (
     DegreeStats,
@@ -28,6 +29,7 @@ __all__ = [
     "Dataset",
     "DegreeStats",
     "DynamicGraph",
+    "GraphDelta",
     "by_name",
     "degree_stats",
     "from_networkx",
@@ -37,6 +39,7 @@ __all__ = [
     "id_locality",
     "induced_subgraph",
     "largest_weakly_connected_component",
+    "patch_csr",
     "sector_span",
     "small_suite",
     "to_networkx",

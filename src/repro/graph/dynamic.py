@@ -9,13 +9,17 @@ deployment needs:
   them into the CSR with a sorted-merge (O(|E| + |batch| log |batch|)
   per merge, not a from-scratch re-sort), amortized by a configurable
   batch threshold.
-* update listeners — the SAGE engine's resident tiles and any cached
-  structures register for invalidation when a merge lands, mirroring how
-  the runtime would drop stale scheduling logs.
+* update listeners — every merge fires listeners with ``(new_csr,
+  delta)`` where the :class:`~repro.graph.delta.GraphDelta` describes
+  exactly which edge instances changed; incremental algorithms repair
+  from it and the serving cache invalidates selectively.  Legacy
+  single-argument listeners (pre-delta ``Callable[[CSRGraph], None]``)
+  are auto-adapted with a one-time deprecation warning.
 """
 
 from __future__ import annotations
 
+import inspect
 from collections.abc import Callable
 
 import numpy as np
@@ -23,6 +27,33 @@ import numpy as np
 from repro.errors import GraphFormatError, InvalidParameterError
 from repro.graph.coo import EDGE_DTYPE
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta, apply_edge_updates
+
+#: The delta-aware listener contract fired after every merge.
+UpdateListener = Callable[[CSRGraph, GraphDelta], None]
+
+
+def _adapt_listener(callback: Callable[..., None]) -> UpdateListener:
+    """Accept both listener generations behind one call signature.
+
+    Delta-aware listeners (two positional parameters) pass through;
+    legacy single-argument listeners are wrapped to drop the delta,
+    with an exactly-once deprecation warning at registration time.
+    """
+    try:
+        inspect.signature(callback).bind(None, None)
+    except TypeError:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "dynamic.add_listener.single_arg",
+            "single-argument DynamicGraph listeners are deprecated; "
+            "accept (graph: CSRGraph, delta: GraphDelta) instead",
+        )
+        return lambda graph, delta: callback(graph)
+    except ValueError:  # pragma: no cover - signature-less builtins
+        pass
+    return callback  # type: ignore[return-value]
 
 
 class DynamicGraph:
@@ -49,7 +80,8 @@ class DynamicGraph:
         self._pending_del_src: list[np.ndarray] = []
         self._pending_del_dst: list[np.ndarray] = []
         self._pending_count = 0
-        self._listeners: list[Callable[[CSRGraph], None]] = []
+        self._listeners: list[UpdateListener] = []
+        self._last_delta: GraphDelta | None = None
         self.merges = 0
         self.edges_inserted = 0
         self.edges_deleted = 0
@@ -80,13 +112,15 @@ class DynamicGraph:
         self._pending_count += src.size
         self._maybe_flush()
 
-    def add_listener(self, callback: Callable[[CSRGraph], None]) -> None:
-        """Register a callback fired with the new CSR after every merge.
+    def add_listener(self, callback: Callable[..., None]) -> None:
+        """Register a callback fired with ``(new_csr, delta)`` per merge.
 
-        The SAGE engine registers its resident-tile invalidation here; a
-        cache of reorderings or transposes would do the same.
+        The SAGE engine registers its resident-tile invalidation here;
+        the serving :class:`~repro.serve.cache.GraphStore` fans the
+        delta out to replicas and the cache.  Legacy single-argument
+        callbacks still work (adapted with a warn-once deprecation).
         """
-        self._listeners.append(callback)
+        self._listeners.append(_adapt_listener(callback))
 
     # ------------------------------------------------------------------
     # State
@@ -103,48 +137,50 @@ class DynamicGraph:
     def pending_updates(self) -> int:
         return self._pending_count
 
+    @property
+    def epoch(self) -> int:
+        """The merge counter — the epoch stamped into produced deltas."""
+        return self.merges
+
+    @property
+    def last_delta(self) -> GraphDelta | None:
+        """The delta of the most recent merge (``None`` before any)."""
+        return self._last_delta
+
     def flush(self) -> CSRGraph:
         """Merge all pending updates into the CSR."""
         if not self._pending_count:
             return self._graph
         graph = self._graph
-        coo = graph.to_coo()
-        src, dst = coo.src, coo.dst
-
-        del_keys = None
-        if self._pending_del_src:
-            del_src = np.concatenate(self._pending_del_src)
-            del_dst = np.concatenate(self._pending_del_dst)
-            keys = src * graph.num_nodes + dst
-            del_keys = np.unique(del_src * graph.num_nodes + del_dst)
-            keep = ~np.isin(keys, del_keys)
-            self.edges_deleted += int((~keep).sum())
-            src, dst = src[keep], dst[keep]
-
-        if self._pending_src:
-            add_src = np.concatenate(self._pending_src)
-            add_dst = np.concatenate(self._pending_dst)
-            if del_keys is not None:
-                # same-batch deletes also cancel pending inserts
-                keep_add = ~np.isin(
-                    add_src * graph.num_nodes + add_dst, del_keys
-                )
-                add_src, add_dst = add_src[keep_add], add_dst[keep_add]
-            # sort only the batch, then one merge pass over both sorted
-            # edge lists (the existing list is already CSR-sorted).
-            order = np.lexsort((add_dst, add_src))
-            add_src, add_dst = add_src[order], add_dst[order]
-            n = graph.num_nodes
-            merged_keys = self._merge_sorted(
-                src * n + dst, add_src * n + add_dst
-            )
-            src = merged_keys // n
-            dst = merged_keys % n
-
-        counts = np.bincount(src, minlength=graph.num_nodes)
-        offsets = np.zeros(graph.num_nodes + 1, dtype=EDGE_DTYPE)
-        np.cumsum(counts, out=offsets[1:])
-        self._graph = CSRGraph(graph.num_nodes, offsets, dst)
+        empty = np.empty(0, dtype=EDGE_DTYPE)
+        add_src = (
+            np.concatenate(self._pending_src) if self._pending_src else empty
+        )
+        add_dst = (
+            np.concatenate(self._pending_dst) if self._pending_dst else empty
+        )
+        del_src = (
+            np.concatenate(self._pending_del_src)
+            if self._pending_del_src else empty
+        )
+        del_dst = (
+            np.concatenate(self._pending_del_dst)
+            if self._pending_del_dst else empty
+        )
+        new_graph, ins_src, ins_dst, rem_src, rem_dst = apply_edge_updates(
+            graph, add_src, add_dst, del_src, del_dst
+        )
+        delta = GraphDelta(
+            num_nodes=graph.num_nodes,
+            old_epoch=self.merges,
+            new_epoch=self.merges + 1,
+            inserted_src=ins_src,
+            inserted_dst=ins_dst,
+            deleted_src=rem_src,
+            deleted_dst=rem_dst,
+        )
+        self._graph = new_graph
+        self.edges_deleted += delta.num_deleted
 
         self._pending_src.clear()
         self._pending_dst.clear()
@@ -152,8 +188,9 @@ class DynamicGraph:
         self._pending_del_dst.clear()
         self._pending_count = 0
         self.merges += 1
+        self._last_delta = delta
         for listener in self._listeners:
-            listener(self._graph)
+            listener(self._graph, delta)
         return self._graph
 
     # ------------------------------------------------------------------
@@ -178,15 +215,3 @@ class DynamicGraph:
     def _maybe_flush(self) -> None:
         if self._pending_count >= self.auto_flush_threshold:
             self.flush()
-
-    @staticmethod
-    def _merge_sorted(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-        """Merge two sorted int arrays (duplicates kept)."""
-        out = np.empty(a.size + b.size, dtype=a.dtype)
-        positions = np.searchsorted(a, b, side="right") \
-            + np.arange(b.size)
-        mask = np.zeros(out.size, dtype=bool)
-        mask[positions] = True
-        out[mask] = b
-        out[~mask] = a
-        return out

@@ -179,6 +179,34 @@ SAMPLING_COUNTERS: frozenset[str] = frozenset(
     }
 )
 
+#: Counters emitted as structured graph deltas flow from
+#: ``DynamicGraph.flush`` through the ``GraphStore`` fan-out to the
+#: selective result cache and replica CSR patching
+#: (``repro.serve.cache`` / ``repro.serve.broker``).
+DELTA_COUNTERS: frozenset[str] = frozenset(
+    {
+        "delta.flushes",
+        "delta.edges_inserted",
+        "delta.edges_deleted",
+        "delta.cache_entries_kept",
+        "delta.cache_entries_purged",
+        "delta.replica_patches",
+    }
+)
+
+#: Counters emitted by the delta-aware incremental engines
+#: (``repro.apps.incremental``).
+INCREMENTAL_COUNTERS: frozenset[str] = frozenset(
+    {
+        "incremental.updates",
+        "incremental.repairs",
+        "incremental.full_recomputes",
+        "incremental.noops",
+        "incremental.affected_vertices",
+        "incremental.residual_pushes",
+    }
+)
+
 #: Counters emitted by the unified facade (``repro.api``).
 API_COUNTERS: frozenset[str] = frozenset(
     {
@@ -188,6 +216,7 @@ API_COUNTERS: frozenset[str] = frozenset(
         "api.bench_runs",
         "api.tune_runs",
         "api.profiles_applied",
+        "api.updates",
     }
 )
 
@@ -219,6 +248,8 @@ COUNTERS: frozenset[str] = (
     | SERVE_COUNTERS
     | CLUSTER_COUNTERS
     | SAMPLING_COUNTERS
+    | DELTA_COUNTERS
+    | INCREMENTAL_COUNTERS
     | API_COUNTERS
     | TUNE_COUNTERS
 )
@@ -296,6 +327,7 @@ SPANS: frozenset[str] = frozenset(
         "cluster.run",
         "tune.search",
         "pipeline.batch",
+        "incremental.update",
     }
 )
 

@@ -45,6 +45,7 @@ from repro.errors import (
     WorkerFailureError,
 )
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta, patch_csr
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.serve.batching import batch_key
 from repro.serve.executor import BatchExecutor
@@ -311,6 +312,32 @@ class QueryBroker:
         with self._lock:
             races.note_write(self, "graphs")
             self.graphs[handle] = graph
+
+    def patch_graph(
+        self, handle: str, delta: GraphDelta, snapshot: CSRGraph
+    ) -> None:
+        """Apply a structured delta to the local CSR instead of swapping.
+
+        The replica-local half of the cluster's delta fanout: the
+        broker's own copy of ``handle`` is patched with one sorted-merge
+        pass (:func:`~repro.graph.delta.patch_csr`), which is
+        bit-identical to the producing merge's output — no full snapshot
+        needs shipping.  ``snapshot`` (the store's authoritative new
+        CSR) is the fallback when the local copy is missing or from a
+        different vertex set, so the swap semantics of
+        :meth:`update_graph` are never weaker.
+        """
+        with self._lock:
+            races.note_write(self, "graphs")
+            current = self.graphs.get(handle)
+            if (
+                current is None
+                or current.num_nodes != delta.num_nodes
+            ):
+                self.graphs[handle] = snapshot
+                return
+            self.graphs[handle] = patch_csr(current, delta)
+        self.metrics.count("delta.replica_patches")
 
     # ------------------------------------------------------------------
     # Worker side

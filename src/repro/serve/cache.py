@@ -13,14 +13,22 @@ stale read*.  Staleness is ruled out structurally, not by TTLs:
 * values are stored and returned as **copies**, so cached arrays can
   never alias a caller's (or another response's) buffers.
 
+Invalidation is *selective* when the update arrives as a structured
+:class:`~repro.graph.delta.GraphDelta`: entries whose results are
+provably unaffected by the changed edges (see
+:meth:`ResultCache.apply_delta`) are re-keyed to the new epoch instead
+of purged, so a hot source keeps hitting across merges that cannot
+change its answer.
+
 :class:`GraphStore` owns the handle → graph mapping shared by every
 replica of a cluster, tracks epochs/fingerprints, and fans updated CSR
-snapshots out to subscribers (the replica brokers).
+snapshots *and their deltas* out to subscribers (the replica brokers).
 """
 
 from __future__ import annotations
 
 import hashlib
+import inspect
 from collections import OrderedDict
 from collections.abc import Callable, Mapping
 from typing import Any
@@ -30,6 +38,7 @@ import numpy as np
 from repro.analysis.races import instrument as races
 from repro.errors import InvalidParameterError
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
 from repro.graph.dynamic import DynamicGraph
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.serve.request import QueryRequest
@@ -66,6 +75,44 @@ def result_cache_key(
     )
 
 
+#: Apps whose cached result carries a per-node ``dist`` array rooted at
+#: one source — the shapes :func:`_survives_delta` can reason about.
+_SOURCE_DIST_APPS = frozenset({"bfs", "sssp"})
+
+
+def _survives_delta(
+    key: CacheKey, entry: Mapping[str, np.ndarray], delta: GraphDelta
+) -> bool:
+    """Whether a cached result is provably unchanged by ``delta``.
+
+    The argument (DESIGN.md, "Structured deltas & incremental repair"):
+    for a source-rooted distance result, take any path from the source
+    in the *new* graph that uses an inserted edge and look at the first
+    inserted edge ``(u, v)`` along it — its prefix uses only old edges,
+    so ``u`` was reachable in the old graph.  Contrapositive: if every
+    changed edge departs a vertex the cached run never reached
+    (``dist`` at its unreachable sentinel), no new-graph path can use
+    any inserted edge and no old shortest path used any deleted one —
+    the distance array is bit-identical across the epochs.  Deltas with
+    no applied changes trivially preserve every entry.
+    """
+    if delta.is_empty:
+        return True
+    app, source = key[3], key[5]
+    if source is None or app not in _SOURCE_DIST_APPS:
+        return False
+    dist = entry.get("dist")
+    if dist is None or dist.ndim != 1 or dist.size != delta.num_nodes:
+        return False
+    touched = delta.touched_sources
+    values = dist[touched]
+    if app == "bfs":
+        return bool((values < 0).all())
+    from repro.apps.sssp import INF
+
+    return bool((values >= INF).all())
+
+
 class ResultCache:
     """Bounded LRU cache of query results, versioned by graph epoch.
 
@@ -80,6 +127,7 @@ class ResultCache:
         "misses": "_lock",
         "evictions": "_lock",
         "invalidations": "_lock",
+        "rekeyed": "_lock",
     }
 
     def __init__(
@@ -100,6 +148,7 @@ class ResultCache:
         self.misses = 0
         self.evictions = 0
         self.invalidations = 0
+        self.rekeyed = 0
 
     def __len__(self) -> int:
         with self._lock:
@@ -169,10 +218,87 @@ class ResultCache:
                 )
             return len(stale)
 
+    def apply_delta(
+        self,
+        handle: str,
+        delta: GraphDelta,
+        *,
+        new_epoch: int,
+        new_fingerprint: str,
+    ) -> tuple[int, int]:
+        """Selective invalidation for one structured update.
+
+        Entries of ``handle`` at exactly the pre-update epoch
+        (``new_epoch - 1``) whose results are provably unaffected by
+        ``delta`` (:func:`_survives_delta`) are *re-keyed* to
+        ``(new_epoch, new_fingerprint)`` — they keep hitting after the
+        merge.  Everything else stale is purged, including entries from
+        older epochs (those skipped an intermediate delta's check, so
+        survival cannot be argued from this delta alone).  Returns
+        ``(kept, purged)``.
+        """
+        with self._lock:
+            races.note_write(self, "_entries")
+            stale = [
+                key
+                for key in self._entries
+                if key[0] == handle and key[1] < new_epoch
+            ]
+            kept = 0
+            for key in stale:
+                new_key = (handle, new_epoch, new_fingerprint) + key[3:]
+                if (
+                    key[1] == new_epoch - 1
+                    and new_key not in self._entries
+                    and _survives_delta(key, self._entries[key], delta)
+                ):
+                    self._entries[new_key] = self._entries.pop(key)
+                    kept += 1
+                else:
+                    del self._entries[key]
+            purged = len(stale) - kept
+            self.invalidations += purged
+            self.rekeyed += kept
+            if purged:
+                self.metrics.count("cluster.cache_invalidations", purged)
+                self.metrics.count("delta.cache_entries_purged", purged)
+            if kept:
+                self.metrics.count("delta.cache_entries_kept", kept)
+            return kept, purged
+
     def clear(self) -> None:
         with self._lock:
             races.note_write(self, "_entries")
             self._entries.clear()
+
+
+#: The delta-aware subscriber contract of :meth:`GraphStore.subscribe`.
+StoreSubscriber = Callable[[str, CSRGraph, int, GraphDelta], None]
+
+
+def _adapt_subscriber(callback: Callable[..., None]) -> StoreSubscriber:
+    """Accept both subscriber generations behind one call signature.
+
+    Delta-aware subscribers (four positional parameters) pass through;
+    legacy ``(handle, csr, epoch)`` subscribers are wrapped to drop the
+    delta, with an exactly-once deprecation warning at subscription.
+    """
+    try:
+        inspect.signature(callback).bind(None, None, None, None)
+    except TypeError:
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "store.subscribe.no_delta",
+            "GraphStore subscribers taking (handle, csr, epoch) are "
+            "deprecated; accept (handle, csr, epoch, delta) instead",
+        )
+        return lambda handle, csr, epoch, delta: callback(
+            handle, csr, epoch
+        )
+    except ValueError:  # pragma: no cover - signature-less builtins
+        pass
+    return callback  # type: ignore[return-value]
 
 
 class GraphStore:
@@ -181,34 +307,45 @@ class GraphStore:
     Accepts plain :class:`CSRGraph` values (epoch pinned at 0) and
     :class:`DynamicGraph` values (epoch bumped on every merge via the
     dynamic graph's listener hook).  ``subscribe`` registers a callback
-    fired with ``(handle, csr, epoch)`` after every update — the cluster
-    pool uses it to swap fresh snapshots into its replica brokers.
+    fired with ``(handle, csr, epoch, delta)`` after every update — the
+    cluster pool uses the delta to patch its replica brokers' CSRs in
+    place and to invalidate the cache selectively.  Batched updates go
+    through :meth:`apply_edges` / :meth:`apply_delta`; the per-edge
+    :meth:`apply_update` spelling is a deprecated shim.
     """
 
     _guarded_by = {
         "_current": "_lock",
         "_epochs": "_lock",
         "_fingerprints": "_lock",
+        "_deltas": "_lock",
         "_subscribers": "_lock",
     }
 
     def __init__(
-        self, graphs: Mapping[str, CSRGraph | DynamicGraph]
+        self,
+        graphs: Mapping[str, CSRGraph | DynamicGraph],
+        *,
+        metrics: MetricsRegistry | None = None,
     ) -> None:
         if not graphs:
             raise InvalidParameterError("at least one graph is required")
+        self.metrics = metrics if metrics is not None else NULL_REGISTRY
         self._lock = races.make_lock("store.lock")
         self._dynamic: dict[str, DynamicGraph] = {}
         self._current: dict[str, CSRGraph] = {}
         self._epochs: dict[str, int] = {}
         self._fingerprints: dict[str, str] = {}
-        self._subscribers: list[Callable[[str, CSRGraph, int], None]] = []
+        self._deltas: dict[str, GraphDelta] = {}
+        self._subscribers: list[StoreSubscriber] = []
         for handle, graph in graphs.items():
             if isinstance(graph, DynamicGraph):
                 self._dynamic[handle] = graph
                 csr = graph.graph  # flushes anything already pending
                 graph.add_listener(
-                    lambda new, handle=handle: self._on_update(handle, new)
+                    lambda new, delta, handle=handle: self._on_update(
+                        handle, new, delta
+                    )
                 )
             else:
                 csr = graph
@@ -222,27 +359,39 @@ class GraphStore:
             races.note_read(self, "_current")
             return sorted(self._current)
 
-    def subscribe(
-        self, callback: Callable[[str, CSRGraph, int], None]
-    ) -> None:
+    def subscribe(self, callback: Callable[..., None]) -> None:
+        """Register a ``(handle, csr, epoch, delta)`` update callback.
+
+        Legacy three-argument subscribers are auto-adapted with a
+        warn-once deprecation.
+        """
+        adapted = _adapt_subscriber(callback)
         with self._lock:
             races.note_write(self, "_subscribers")
-            self._subscribers.append(callback)
+            self._subscribers.append(adapted)
 
-    def _on_update(self, handle: str, csr: CSRGraph) -> None:
+    def _on_update(
+        self, handle: str, csr: CSRGraph, delta: GraphDelta
+    ) -> None:
         with self._lock:
             races.note_write(self, "_current")
             self._current[handle] = csr
             self._epochs[handle] += 1
             self._fingerprints[handle] = graph_fingerprint(csr)
+            self._deltas[handle] = delta
             epoch = self._epochs[handle]
             races.note_read(self, "_subscribers")
             subscribers = list(self._subscribers)
+        self.metrics.count("delta.flushes")
+        if delta.num_inserted:
+            self.metrics.count("delta.edges_inserted", delta.num_inserted)
+        if delta.num_deleted:
+            self.metrics.count("delta.edges_deleted", delta.num_deleted)
         # Fan out with the lock dropped: subscribers take their own
         # locks (the replica brokers'), and holding ours across the
         # callback would order store.lock -> broker.lock.
         for callback in subscribers:
-            callback(handle, csr, epoch)
+            callback(handle, csr, epoch, delta)
 
     def refresh(self, handle: str) -> None:
         """Flush any pending dynamic updates so the epoch is current.
@@ -255,13 +404,7 @@ class GraphStore:
         if dynamic is not None and dynamic.pending_updates:
             _ = dynamic.graph
 
-    def apply_update(self, handle: str, src: Any, dst: Any) -> int:
-        """Insert edges into a dynamic handle and flush immediately.
-
-        Returns the post-merge epoch.  Convenience for the cluster
-        simulator's scripted mid-stream updates; raises for handles that
-        were registered as plain (non-dynamic) CSR graphs.
-        """
+    def _dynamic_for(self, handle: str) -> DynamicGraph:
         self._check(handle)
         dynamic = self._dynamic.get(handle)
         if dynamic is None:
@@ -269,9 +412,75 @@ class GraphStore:
                 f"graph {handle!r} is not dynamic; register a "
                 "DynamicGraph to apply updates"
             )
-        dynamic.insert_edges(np.asarray(src), np.asarray(dst))
+        return dynamic
+
+    def apply_edges(
+        self,
+        handle: str,
+        src: Any,
+        dst: Any,
+        *,
+        delete_src: Any = None,
+        delete_dst: Any = None,
+    ) -> int:
+        """Apply one batched update to a dynamic handle and flush.
+
+        ``src``/``dst`` are inserted; ``delete_src``/``delete_dst``
+        (optional, matching 1-D arrays) are deleted in the same merge,
+        with deletes winning over same-batch inserts of the same pair.
+        Returns the post-merge epoch; the resulting
+        :class:`~repro.graph.delta.GraphDelta` is available via
+        :meth:`last_delta` and is fanned out to every subscriber.
+        Raises for handles registered as plain (non-dynamic) CSR graphs.
+        """
+        dynamic = self._dynamic_for(handle)
+        src = np.asarray(src)
+        dst = np.asarray(dst)
+        if src.size:
+            dynamic.insert_edges(src, dst)
+        if delete_src is not None:
+            dynamic.delete_edges(
+                np.asarray(delete_src), np.asarray(delete_dst)
+            )
         dynamic.flush()
         return self.epoch(handle)
+
+    def apply_delta(self, handle: str, delta: GraphDelta) -> int:
+        """Replay a :class:`~repro.graph.delta.GraphDelta` onto a handle.
+
+        Applies the delta's inserted and deleted edge instances as one
+        merge (the typical use is forwarding a delta produced by
+        another store or process).  Returns the post-merge epoch.
+        """
+        dynamic = self._dynamic_for(handle)
+        if delta.is_empty:
+            return self.epoch(handle)
+        if delta.num_inserted:
+            dynamic.insert_edges(delta.inserted_src, delta.inserted_dst)
+        if delta.num_deleted:
+            dynamic.delete_edges(delta.deleted_src, delta.deleted_dst)
+        dynamic.flush()
+        return self.epoch(handle)
+
+    def apply_update(self, handle: str, src: Any, dst: Any) -> int:
+        """Deprecated spelling of :meth:`apply_edges` (inserts only)."""
+        from repro.deprecation import warn_once
+
+        warn_once(
+            "store.apply_update",
+            "GraphStore.apply_update is deprecated; use "
+            "apply_edges(handle, src, dst) or apply_delta(handle, delta)",
+        )
+        return self.apply_edges(handle, src, dst)
+
+    def last_delta(self, handle: str) -> GraphDelta | None:
+        """The delta of the handle's most recent merge (``None`` before
+        any update or for non-dynamic handles)."""
+        self._check(handle)
+        self.refresh(handle)
+        with self._lock:
+            races.note_read(self, "_deltas")
+            return self._deltas.get(handle)
 
     def graph(self, handle: str) -> CSRGraph:
         self._check(handle)

@@ -43,6 +43,7 @@ from repro.analysis.races import instrument as races
 from repro.core.scheduler import Scheduler
 from repro.errors import AdmissionError, InvalidParameterError, ThrottledError
 from repro.graph.csr import CSRGraph
+from repro.graph.delta import GraphDelta
 from repro.graph.dynamic import DynamicGraph
 from repro.obs import NULL_REGISTRY, MetricsRegistry
 from repro.serve.admission import (
@@ -545,11 +546,21 @@ def simulate_cluster_open_loop(
                 latency_seconds=done.finish - member.arrival,
             )
 
-    def apply_update(update: tuple[float, str, Any, Any]) -> None:
+    def apply_stream_update(update: tuple[float, str, Any, Any]) -> None:
         nonlocal graph_updates
         _, handle, src, dst = update
-        epoch = store.apply_update(handle, src, dst)
-        cache.invalidate_graph(handle, keep_epoch=epoch)
+        epoch = store.apply_edges(handle, src, dst)
+        delta = store.last_delta(handle)
+        if delta is None:
+            cache.invalidate_graph(handle, keep_epoch=epoch)
+        else:
+            # Selective invalidation: provably-unaffected entries are
+            # re-keyed to the new epoch and keep hitting.
+            cache.apply_delta(
+                handle, delta,
+                new_epoch=epoch,
+                new_fingerprint=store.fingerprint(handle),
+            )
         registry.count("cluster.graph_updates")
         graph_updates += 1
 
@@ -606,7 +617,7 @@ def simulate_cluster_open_loop(
                     _, _, done = heapq.heappop(completions)
                     complete(done)
             elif kind == EVENT_UPDATE:
-                apply_update(pending_updates[update_ptr])
+                apply_stream_update(pending_updates[update_ptr])
                 update_ptr += 1
             else:
                 del open_batches[(flush.replica, flush.key)]
@@ -949,11 +960,18 @@ class ClusterPool:
         # ERROR is a worker fault, not a load signal: no feedback.
 
     def _on_graph_update(
-        self, handle: str, csr: CSRGraph, epoch: int
+        self, handle: str, csr: CSRGraph, epoch: int, delta: GraphDelta
     ) -> None:
+        # Replica-local CSR patching: each broker applies the structured
+        # delta to its own copy (bit-identical to the store's new CSR)
+        # instead of receiving a full snapshot swap.
         for broker in self.replicas:
-            broker.update_graph(handle, csr)
-        self.cache.invalidate_graph(handle, keep_epoch=epoch)
+            broker.patch_graph(handle, delta, csr)
+        self.cache.apply_delta(
+            handle, delta,
+            new_epoch=epoch,
+            new_fingerprint=self.store.fingerprint(handle),
+        )
         self.metrics.count("cluster.graph_updates")
         with self._lock:
             races.note_write(self, "graph_updates")

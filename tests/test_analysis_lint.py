@@ -280,6 +280,22 @@ class TestSAGE005:
         """)
         assert found == []
 
+    def test_apply_update_method_flagged(self, tmp_path):
+        found = _lint_source(tmp_path, self.MOD, """\
+            def stream(store, src, dst):
+                return store.apply_update("g", src, dst)
+        """)
+        assert _rules(found) == ["SAGE005"]
+        assert "apply_edges" in found[0].message
+
+    def test_apply_edges_and_apply_delta_pass(self, tmp_path):
+        found = _lint_source(tmp_path, self.MOD, """\
+            def stream(store, src, dst, delta):
+                store.apply_edges("g", src, dst)
+                return store.apply_delta("g", delta)
+        """)
+        assert found == []
+
 
 class TestBaseline:
     def _fixture_tree(self, tmp_path) -> pathlib.Path:

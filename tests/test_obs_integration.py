@@ -222,7 +222,7 @@ class TestBenchTrajectory:
             "bfs_rmat", "pagerank_rmat", "sssp_rmat", "bfs_rmat_outofcore",
             "bfs_rmat_100k", "pagerank_rmat_100k", "serve_openloop",
             "sampling_openloop", "cluster_openloop", "pipeline_openloop",
-            "tuned_vs_default",
+            "dynamic_stream", "tuned_vs_default",
         }
         for row in first["workloads"].values():
             # The serving row carries only the metrics that exist for a
@@ -257,6 +257,16 @@ class TestBenchTrajectory:
             >= bench.CLUSTER_SPEEDUP_FLOOR
         )
         assert row["cluster_cache_hit_ratio"] > 0.5
+        assert row["simulated_seconds"] > 0
+
+    def test_dynamic_tier_meets_speedup_floor(self):
+        bench = load_bench_trajectory()
+        row = bench._dynamic_stream_row(smoke=True)
+        assert (
+            row["dynamic_speedup_vs_recompute"]
+            >= bench.DYNAMIC_SPEEDUP_FLOOR
+        )
+        assert row["dynamic_repairs"] > 0
         assert row["simulated_seconds"] > 0
 
     def test_committed_baseline_is_current(self):

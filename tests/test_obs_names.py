@@ -249,6 +249,58 @@ class TestEmitSitesResolve:
         assert emitted["set_gauge"] == set()
         assert emitted["span"] == set()
 
+    def test_delta_emits_exactly_the_registered_delta_counters(self):
+        """The delta plumbing's ``delta.*`` literals == the registry.
+
+        Scans ``repro/serve`` and ``repro/graph`` — the store fan-out,
+        the selective cache invalidation and the replica patcher are
+        the only emitters (``DynamicGraph`` itself has no metrics
+        handle; it reports through its store).
+        """
+        emitted = set()
+        paths = sorted((SRC / "serve").glob("*.py")) + sorted(
+            (SRC / "graph").glob("*.py")
+        )
+        for path in paths:
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in ("count", "set_counter")
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("delta.")
+                ):
+                    emitted.add(node.args[0].value)
+        assert emitted == set(names.DELTA_COUNTERS)
+
+    def test_incremental_emits_exactly_the_registered_names(self):
+        """The incremental engines' emit sites == the registry slices."""
+        emitted: dict[str, set[str]] = {
+            "count": set(), "set_counter": set(), "span": set(),
+        }
+        for path in sorted((SRC / "apps" / "incremental").glob("*.py")):
+            tree = ast.parse(path.read_text(encoding="utf-8"))
+            for node in ast.walk(tree):
+                if (
+                    isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr in emitted
+                    and node.args
+                    and isinstance(node.args[0], ast.Constant)
+                    and isinstance(node.args[0].value, str)
+                    and node.args[0].value.startswith("incremental.")
+                ):
+                    emitted[node.func.attr].add(node.args[0].value)
+        counters = emitted["count"] | emitted["set_counter"]
+        incremental_spans = {
+            s for s in names.SPANS if s.startswith("incremental.")
+        }
+        assert counters == set(names.INCREMENTAL_COUNTERS)
+        assert emitted["span"] == incremental_spans
+
     def test_api_emits_exactly_the_registered_api_counters(self):
         """The facade's ``api.*`` literals == the canonical list."""
         tree = ast.parse((SRC / "api.py").read_text(encoding="utf-8"))
@@ -289,6 +341,8 @@ class TestRegistryStructure:
             | names.SERVE_COUNTERS
             | names.CLUSTER_COUNTERS
             | names.SAMPLING_COUNTERS
+            | names.DELTA_COUNTERS
+            | names.INCREMENTAL_COUNTERS
             | names.API_COUNTERS
             | names.TUNE_COUNTERS
         )
